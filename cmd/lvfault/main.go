@@ -1,0 +1,153 @@
+// Command lvfault generates, inspects and stores word-granularity fault
+// maps for the 32 KB L1 arrays, and runs the BIST simulation over a
+// fault-injected array.
+//
+// Usage:
+//
+//	lvfault -mv 400                      # draw a map, print statistics
+//	lvfault -mv 440 -out map.fmap        # and store it ("off-chip")
+//	lvfault -in map.fmap                 # inspect a stored map
+//	lvfault -mv 400 -bist                # verify BIST recovers the map
+//	lvfault -vccmin                      # Vccmin vs array size table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/dvfs"
+	"repro/internal/faultmap"
+	"repro/internal/sram"
+)
+
+const l1Words = 32 * 1024 / 4
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lvfault: ")
+	var (
+		mv       = flag.Int("mv", 400, "operating voltage in mV (Table II point)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		out      = flag.String("out", "", "write the map to this file")
+		in       = flag.String("in", "", "read a map from this file instead of generating")
+		bist     = flag.Bool("bist", false, "run the BIST simulation and verify it recovers the map")
+		vccmin   = flag.Bool("vccmin", false, "print Vccmin vs array size at the 99.9% yield target")
+		compress = flag.Bool("compress", false, "store the map run-length coded (sparse maps shrink ~10x)")
+		temp     = flag.Float64("temp", sram.RefTempC, "junction temperature in °C for the -vccmin table")
+	)
+	flag.Parse()
+
+	if *vccmin {
+		printVccmin(*temp)
+		return
+	}
+
+	var m *faultmap.Map
+	switch {
+	case *in != "":
+		data, err := os.ReadFile(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m = new(faultmap.Map)
+		// Both formats are self-describing; try compressed first.
+		if err := m.UnmarshalCompressed(data); err != nil {
+			if err := m.UnmarshalBinary(data); err != nil {
+				log.Fatal(err)
+			}
+		}
+		fmt.Printf("loaded %s (%d words)\n", *in, m.Words())
+	default:
+		op, err := dvfs.PointAt(*mv)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m = faultmap.Generate(l1Words, op.PfailBit, rand.New(rand.NewSource(*seed)))
+		fmt.Printf("generated fault map at %s (per-bit Pfail %.2e)\n", op, op.PfailBit)
+	}
+
+	describe(m)
+
+	if *bist {
+		arr := faultmap.NewArray(m, sram.NewModel(), rand.New(rand.NewSource(*seed+1)))
+		got := faultmap.RunBIST(arr)
+		if got.Equal(m) {
+			fmt.Println("BIST: recovered fault map matches the injected defects exactly")
+		} else {
+			log.Fatalf("BIST mismatch: found %d defects, injected %d", got.CountDefective(), m.CountDefective())
+		}
+	}
+
+	if *out != "" {
+		marshal := (*faultmap.Map).MarshalBinary
+		if *compress {
+			marshal = (*faultmap.Map).MarshalCompressed
+		}
+		data, err := marshal(m)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %s (%d bytes)\n", *out, len(data))
+	}
+}
+
+func describe(m *faultmap.Map) {
+	def := m.CountDefective()
+	fmt.Printf("defective words: %d / %d (%.1f%%); effective capacity %.2f KB\n",
+		def, m.Words(), 100*float64(def)/float64(m.Words()),
+		float64(m.FaultFreeWords())*4/1024)
+	chunks := m.Chunks()
+	if len(chunks) == 0 {
+		fmt.Println("no fault-free chunks")
+		return
+	}
+	hist := map[int]int{}
+	largest := 0
+	for _, c := range chunks {
+		bucket := c.Len
+		if bucket > 16 {
+			bucket = 17
+		}
+		hist[bucket]++
+		if c.Len > largest {
+			largest = c.Len
+		}
+	}
+	fmt.Printf("fault-free chunks: %d (largest %d words)\n", len(chunks), largest)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "chunk words\tcount")
+	for l := 1; l <= 17; l++ {
+		if hist[l] == 0 {
+			continue
+		}
+		label := fmt.Sprint(l)
+		if l == 17 {
+			label = ">16"
+		}
+		fmt.Fprintf(w, "%s\t%d\n", label, hist[l])
+	}
+	w.Flush()
+}
+
+func printVccmin(tempC float64) {
+	model := sram.NewModel().AtTemperature(tempC)
+	fmt.Printf("junction temperature: %.0f°C\n", tempC)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "array\t6T Vccmin (mV)\t8T Vccmin (mV)")
+	for _, kb := range []int{4, 8, 16, 32, 64, 128, 256, 512} {
+		bits := kb * 1024 * 8
+		fmt.Fprintf(w, "%d KB\t%.0f\t%.0f\n",
+			kb,
+			model.VccminMV(sram.Cell6T, bits, sram.TargetYield),
+			model.VccminMV(sram.Cell8T, bits, sram.TargetYield))
+	}
+	w.Flush()
+	fmt.Println("(paper: 32 KB 6T -> 760 mV; 8T tag arrays operate at 400 mV)")
+}

@@ -1,0 +1,118 @@
+// Command lvsim runs individual low-voltage cache simulations: one or
+// all schemes, one or all benchmarks, at a chosen DVFS operating point.
+//
+// Usage:
+//
+//	lvsim -scheme FFW+BBR -bench basicmath -mv 400
+//	lvsim -mv 440 -n 1000000 -maps 10          # all schemes, all benchmarks
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/cpu"
+	"repro/internal/dvfs"
+	"repro/internal/energy"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lvsim: ")
+	var (
+		scheme  = flag.String("scheme", "", "scheme to simulate (default: all); one of "+fmt.Sprint(sim.AllSchemes()))
+		bench   = flag.String("bench", "", "benchmark (default: all); one of "+fmt.Sprint(workload.Names()))
+		mv      = flag.Int("mv", 400, "operating voltage in mV (Table II point)")
+		n       = flag.Uint64("n", 400_000, "useful instructions per run")
+		maps    = flag.Int("maps", 5, "Monte Carlo fault maps per cell")
+		seed    = flag.Int64("seed", 1, "master random seed")
+		profile = flag.String("profile", "", "JSON file with a custom workload profile to register")
+	)
+	flag.Parse()
+
+	if *profile != "" {
+		data, err := os.ReadFile(*profile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		p, err := workload.FromJSON(data)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := workload.Register(p); err != nil {
+			log.Fatal(err)
+		}
+		if *bench == "" {
+			*bench = p.Name
+		}
+	}
+
+	op, err := dvfs.PointAt(*mv)
+	if err != nil {
+		log.Fatal(err)
+	}
+	schemes := sim.AllSchemes()
+	if *scheme != "" {
+		schemes = []sim.Scheme{sim.Scheme(*scheme)}
+	}
+	benchmarks := workload.Names()
+	if *bench != "" {
+		if _, err := workload.ByName(*bench); err != nil {
+			log.Fatal(err)
+		}
+		benchmarks = []string{*bench}
+	}
+
+	model := energy.DefaultModel()
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "scheme\tbenchmark\tCPI\truntime(ms)\tL2/1k-instr\tEPI(norm)\tyield-fails")
+	for _, s := range schemes {
+		for _, b := range benchmarks {
+			var cpis, runtimes, l2ks, epis []float64
+			yieldFails := 0
+			baseline, err := sim.Run(sim.RunSpec{
+				Scheme: sim.Conventional, Benchmark: b, Op: dvfs.Nominal(),
+				WorkSeed: *seed, Instructions: *n, CPU: cpu.DefaultConfig(),
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			for m := 0; m < *maps; m++ {
+				r, err := sim.Run(sim.RunSpec{
+					Scheme: s, Benchmark: b, Op: op,
+					MapSeed: *seed + int64(m), WorkSeed: *seed,
+					Instructions: *n, CPU: cpu.DefaultConfig(),
+				})
+				if errors.Is(err, sim.ErrYield) {
+					yieldFails++
+					continue
+				}
+				if err != nil {
+					log.Fatal(err)
+				}
+				norm, err := model.Normalized(r, op, sim.L1StaticFactor(s), baseline)
+				if err != nil {
+					log.Fatal(err)
+				}
+				cpis = append(cpis, r.CPI())
+				runtimes = append(runtimes, 1e3*r.RuntimeSeconds(op.FreqMHz))
+				l2ks = append(l2ks, r.L2PerKiloInstr())
+				epis = append(epis, norm)
+			}
+			if len(cpis) == 0 {
+				fmt.Fprintf(w, "%s\t%s\t-\t-\t-\t-\t%d\n", s, b, yieldFails)
+				continue
+			}
+			fmt.Fprintf(w, "%s\t%s\t%.3f\t%.3f\t%.1f\t%.3f\t%d\n",
+				s, b, stats.Mean(cpis), stats.Mean(runtimes), stats.Mean(l2ks), stats.Mean(epis), yieldFails)
+		}
+	}
+	w.Flush()
+}

@@ -1,0 +1,62 @@
+// DVFS sweep: walk the proposed FFW+BBR scheme down the whole Table II
+// voltage ladder on one benchmark and print the energy-per-instruction
+// breakdown at every point — the per-benchmark view behind Figure 12.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	lvcache "repro"
+	"repro/internal/cpu"
+	"repro/internal/energy"
+	"repro/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	const bench = "dijkstra"
+	const instrs = 300_000
+
+	model := energy.DefaultModel()
+	baseline, err := lvcache.Run(lvcache.RunSpec{
+		Scheme: lvcache.Conventional, Benchmark: bench, Op: lvcache.Nominal(),
+		Instructions: instrs, CPU: cpu.DefaultConfig(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	base, err := model.EPI(baseline, lvcache.Nominal(), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("FFW+BBR energy sweep on %s (normalized to conventional @760 mV)\n\n", bench)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "mV\tfreq(MHz)\tCPI\tcoreDyn\tL2dyn\tstatic\ttotal\tsavings")
+	factor := sim.L1StaticFactor(lvcache.FFWBBR)
+	for _, op := range lvcache.LowVoltagePoints() {
+		run, err := lvcache.Run(lvcache.RunSpec{
+			Scheme: lvcache.FFWBBR, Benchmark: bench, Op: op,
+			MapSeed: 7, Instructions: instrs, CPU: cpu.DefaultConfig(),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		b, err := model.EPI(run, op, factor)
+		if err != nil {
+			log.Fatal(err)
+		}
+		norm := b.Total() / base.Total()
+		fmt.Fprintf(w, "%d\t%.0f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.0f%%\n",
+			op.VoltageMV, op.FreqMHz, run.CPI(),
+			b.CoreDyn/base.Total(), (b.L2Dyn+b.MemDyn)/base.Total(),
+			(b.CoreStatic+b.L2Static)/base.Total(), norm, 100*(1-norm))
+	}
+	w.Flush()
+	fmt.Println("\nDynamic energy falls with V²; static energy per instruction grows as the")
+	fmt.Println("clock slows. FFW+BBR keeps the defect-induced L2 traffic small enough that")
+	fmt.Println("total EPI keeps falling all the way to 400 mV (the paper's Figure 12 claim).")
+}

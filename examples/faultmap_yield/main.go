@@ -1,0 +1,65 @@
+// Fault-map yield study: Monte Carlo over dies at each DVFS point,
+// reproducing the reliability story of Section II — how fast defects
+// densify as voltage falls, why the conventional cache is stuck at
+// 760 mV, and which schemes still cover the fault maps at 400 mV.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"text/tabwriter"
+
+	lvcache "repro"
+	"repro/internal/faultmap"
+	"repro/internal/schemes"
+	"repro/internal/sim"
+)
+
+func main() {
+	log.SetFlags(0)
+	const dies = 200
+	const l1Words = 32 * 1024 / 4
+
+	fmt.Printf("conventional 32 KB 6T cache: Vccmin = %.0f mV at 99.9%% yield\n\n",
+		lvcache.Vccmin(32*1024*8, 0.999))
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "mV\tdefective words (mean)\tlargest chunk (mean)\tplain-Wilkerson yield")
+	for _, op := range lvcache.LowVoltagePoints() {
+		var defs, largest, covered float64
+		for d := 0; d < dies; d++ {
+			fm := faultmap.Generate(l1Words, op.PfailBit, rand.New(rand.NewSource(int64(op.VoltageMV*1000+d))))
+			defs += float64(fm.CountDefective())
+			max := 0
+			for _, c := range fm.Chunks() {
+				if c.Len > max {
+					max = c.Len
+				}
+			}
+			largest += float64(max)
+			if schemes.Coverable(fm) {
+				covered++
+			}
+		}
+		fmt.Fprintf(w, "%d\t%.0f / %d\t%.0f words\t%.3f\n",
+			op.VoltageMV, defs/dies, l1Words, largest/dies, covered/dies)
+	}
+	w.Flush()
+
+	fmt.Println("\nper-scheme yield (fraction of dies each scheme can guarantee correct execution on):")
+	rows, err := sim.YieldAnalysis(dies, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w = tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "scheme\tmV\tyield")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%s\t%d\t%.3f\n", r.Scheme, r.VoltageMV, r.Yield)
+	}
+	w.Flush()
+	fmt.Println("\n(the paper's note under Fig. 10: plain Wilkerson word-disable cannot hold the")
+	fmt.Println(" 99.9% yield target below ~480 mV; BBR and the word-disable/buffer schemes")
+	fmt.Println(" degrade gracefully instead of failing)")
+}

@@ -1,0 +1,70 @@
+package bbr
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/faultmap"
+)
+
+// ICache is the BBR instruction cache in low-voltage mode: the 4-way
+// set-associative array operated direct-mapped (Figure 7), fetching a
+// program whose blocks were placed by Link so that no fetch ever touches
+// a defective word. It implements core.InstrCache.
+//
+// The extra way-select multiplexer sits in the tag path, which is shorter
+// than the data path, so BBR adds zero cycles to the hit latency
+// (Table III).
+type ICache struct {
+	c    *cache.Cache
+	next *core.NextLevel
+	fm   *faultmap.Map
+
+	// DefectiveFetches counts fetches that touched a defective physical
+	// word — always zero when the program was linked against the same
+	// fault map; nonzero indicates a linker bug or a mismatched map.
+	DefectiveFetches uint64
+}
+
+// NewICache builds the low-voltage BBR instruction cache over the given
+// fault map and next level. The cache starts flushed and direct-mapped,
+// matching the paper's mode-switch semantics.
+func NewICache(fm *faultmap.Map, next *core.NextLevel) (*ICache, error) {
+	cfg := cache.L1Config("L1I-BBR")
+	if fm.Words() != cfg.Words() {
+		return nil, fmt.Errorf("bbr: fault map covers %d words, cache has %d", fm.Words(), cfg.Words())
+	}
+	if next == nil {
+		return nil, fmt.Errorf("bbr: nil next level")
+	}
+	c := cache.MustNew(cfg)
+	c.SetMode(cache.DirectMapped)
+	return &ICache{c: c, next: next, fm: fm}, nil
+}
+
+// Name implements core.InstrCache.
+func (ic *ICache) Name() string { return "BBR" }
+
+// HitLatency implements core.InstrCache: zero overhead over the 2-cycle
+// baseline.
+func (ic *ICache) HitLatency() int { return ic.c.Config().HitLatency }
+
+// Stats exposes the underlying cache counters.
+func (ic *ICache) Stats() cache.Stats { return ic.c.Stats() }
+
+// Fetch implements core.InstrCache: a direct-mapped access; misses fill
+// from the next level.
+func (ic *ICache) Fetch(addr uint64) core.AccessOutcome {
+	// Invariant: the fetched word's physical location must be fault-free.
+	cfg := ic.c.Config()
+	imagePos := int(cache.WordAddr(addr) % uint64(cfg.Words()))
+	if ic.fm.Defective(cfg.DMImageWordIndex(imagePos)) {
+		ic.DefectiveFetches++
+	}
+	res := ic.c.Access(addr, false)
+	if res.Hit {
+		return core.HitOutcome(ic.HitLatency())
+	}
+	return core.MissOutcome(ic.HitLatency(), ic.next, addr)
+}

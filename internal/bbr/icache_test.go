@@ -1,0 +1,159 @@
+package bbr
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/faultmap"
+	"repro/internal/program"
+)
+
+func TestICacheRejectsBadInputs(t *testing.T) {
+	next := core.NewNextLevel(10)
+	if _, err := NewICache(faultmap.New(10), next); err == nil {
+		t.Error("wrong-size fault map must be rejected")
+	}
+	if _, err := NewICache(faultmap.New(icacheWords), nil); err == nil {
+		t.Error("nil next level must be rejected")
+	}
+}
+
+func TestICacheBasics(t *testing.T) {
+	next := core.NewNextLevel(50)
+	ic, err := NewICache(faultmap.New(icacheWords), next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ic.Name() != "BBR" || ic.HitLatency() != 2 {
+		t.Errorf("Name=%q HitLatency=%d", ic.Name(), ic.HitLatency())
+	}
+	out := ic.Fetch(0x100)
+	if out.Hit || out.L2Reads != 1 {
+		t.Errorf("cold fetch = %+v", out)
+	}
+	out = ic.Fetch(0x104)
+	if !out.Hit || out.Latency != 2 {
+		t.Errorf("warm same-block fetch = %+v", out)
+	}
+}
+
+func TestICacheDirectMappedConflicts(t *testing.T) {
+	next := core.NewNextLevel(50)
+	ic, err := NewICache(faultmap.New(icacheWords), next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two addresses a full cache image apart collide in DM mode even
+	// though a 4-way SA cache would hold both.
+	a, b := uint64(0), uint64(32*1024)
+	ic.Fetch(a)
+	ic.Fetch(b)
+	if out := ic.Fetch(a); out.Hit {
+		t.Error("DM conflict should have evicted the first block")
+	}
+}
+
+// runLinkedProgram executes steps dynamic blocks of a linked program
+// through the BBR icache, fetching every executed instruction word.
+func runLinkedProgram(t *testing.T, ic *ICache, p *program.Program, pl *Placement, seed int64, steps int) {
+	t.Helper()
+	w := program.NewWalker(p, seed)
+	for i := 0; i < steps; i++ {
+		b, taken := w.Next()
+		blk := &p.Blocks[b]
+		base := pl.BlockAddr(b)
+		n := program.ExecutedWords(blk, taken)
+		for k := 0; k < n; k++ {
+			ic.Fetch(base + uint64(4*k))
+		}
+	}
+}
+
+func TestLinkedExecutionNeverTouchesDefects(t *testing.T) {
+	// The headline BBR guarantee: with the program linked against the
+	// fault map and the cache in DM mode, no fetch ever lands on a
+	// defective physical word — at the paper's deepest operating point.
+	for _, seed := range []int64{1, 2, 3} {
+		rng := rand.New(rand.NewSource(seed))
+		fm := faultmap.Generate(icacheWords, 1e-2, rng) // 400 mV
+		p := relocatable(t, seed, 300)
+		pl, err := Link(p, fm, 0)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		next := core.NewNextLevel(50)
+		ic, err := NewICache(fm, next)
+		if err != nil {
+			t.Fatal(err)
+		}
+		runLinkedProgram(t, ic, p, pl, seed, 30000)
+		if ic.DefectiveFetches != 0 {
+			t.Errorf("seed %d: %d fetches touched defective words", seed, ic.DefectiveFetches)
+		}
+		if ic.Stats().Reads == 0 {
+			t.Fatal("no fetches recorded")
+		}
+	}
+}
+
+func TestSequentialLayoutDoesTouchDefects(t *testing.T) {
+	// Control experiment: the same program with the conventional dense
+	// layout does fetch defective words, demonstrating that the linker
+	// (not luck) provides the guarantee above.
+	rng := rand.New(rand.NewSource(4))
+	fm := faultmap.Generate(icacheWords, 1e-2, rng)
+	p := relocatable(t, 4, 300)
+	layout := program.NewSequentialLayout(p, 0)
+	next := core.NewNextLevel(50)
+	ic, err := NewICache(fm, next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := program.NewWalker(p, 4)
+	for i := 0; i < 5000; i++ {
+		b, taken := w.Next()
+		base := layout.BlockAddr(b)
+		for k := 0; k < program.ExecutedWords(&p.Blocks[b], taken); k++ {
+			ic.Fetch(base + uint64(4*k))
+		}
+	}
+	if ic.DefectiveFetches == 0 {
+		t.Error("dense layout at Pfail 1e-2 should touch defective words (27.5% of words are defective)")
+	}
+}
+
+func TestLinkedWorkingSetMostlyHits(t *testing.T) {
+	// Figure 6's point: despite defects, the remaining fault-free chunks
+	// capture the working set — a loopy program should enjoy a high hit
+	// rate once warm.
+	rng := rand.New(rand.NewSource(6))
+	fm := faultmap.Generate(icacheWords, 1e-2, rng)
+	p := relocatable(t, 6, 200) // small footprint: fits the cache easily
+	pl, err := Link(p, fm, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := core.NewNextLevel(50)
+	ic, _ := NewICache(fm, next)
+	runLinkedProgram(t, ic, p, pl, 6, 50000)
+	st := ic.Stats()
+	hitRate := float64(st.ReadHits) / float64(st.Reads)
+	if hitRate < 0.9 {
+		t.Errorf("warm hit rate = %.3f, want >= 0.9", hitRate)
+	}
+	if ic.DefectiveFetches != 0 {
+		t.Errorf("defective fetches = %d", ic.DefectiveFetches)
+	}
+}
+
+func TestICacheModeIsDirectMapped(t *testing.T) {
+	next := core.NewNextLevel(50)
+	ic, _ := NewICache(faultmap.New(icacheWords), next)
+	if got := icMode(ic); got != cache.DirectMapped {
+		t.Errorf("mode = %v, want direct-mapped", got)
+	}
+}
+
+func icMode(ic *ICache) cache.Mode { return ic.c.Mode() }

@@ -1,0 +1,202 @@
+// Package bbr implements Basic Block Relocation (Section IV-B): the
+// paper's software mechanism for L1 instruction caches at deep voltage.
+//
+// The pipeline has three stages, mirroring the paper's toolchain:
+//
+//  1. Transform (the compiler pass, §IV-B(2) / Figure 8): make every
+//     basic block relocatable by converting fall-throughs to explicit
+//     jumps, splitting blocks too large for any plausible fault-free
+//     chunk, and attaching literal pools to their blocks.
+//  2. Link (the linker, Algorithm 1): place each block at the first
+//     memory address whose image in the direct-mapped cache is a
+//     fault-free chunk large enough to hold it, inserting gaps between
+//     blocks and wrapping around the cache as needed.
+//  3. Fetch (the hardware, Figure 7): run the instruction cache in
+//     direct-mapped mode so software placement controls cache placement
+//     exactly; defective words are never fetched, by construction.
+package bbr
+
+import (
+	"fmt"
+
+	"repro/internal/program"
+)
+
+// TransformConfig parameterizes the compiler pass.
+type TransformConfig struct {
+	// SplitThreshold is the maximum block size in instruction words after
+	// splitting. The compiler runs before fault maps exist, so the
+	// threshold is fault-map independent; 8 words keeps blocks below the
+	// typical chunk size even at Pfail = 1e-2 (DESIGN.md). Must be >= 2
+	// so a split piece can hold at least one real instruction plus the
+	// chaining jump.
+	SplitThreshold int
+	// MaxFootprintWords is the page-constraint check: a block plus its
+	// literal pool must stay within a 4 KB page (1024 words) so
+	// PC-relative literal loads stay encodable (§IV-B "the load
+	// instruction and the literal pool are required to be within a
+	// memory page").
+	MaxFootprintWords int
+}
+
+// DefaultTransformConfig returns the paper-shaped defaults.
+func DefaultTransformConfig() TransformConfig {
+	return TransformConfig{SplitThreshold: 8, MaxFootprintWords: 1024}
+}
+
+// TransformStats reports what the pass did.
+type TransformStats struct {
+	InsertedJumps int // fall-throughs converted to explicit jumps
+	SplitBlocks   int // original blocks that were split
+	NewBlocks     int // pieces created by splitting
+	MovedLiterals int // literal pools attached to relocatable blocks
+	AddedWords    int // code-size inflation in words
+}
+
+// Transform applies the BBR compiler pass and returns a new, relocatable
+// program: no block relies on its position relative to any other block.
+// The input program is not modified.
+func Transform(p *program.Program, cfg TransformConfig) (*program.Program, TransformStats, error) {
+	var stats TransformStats
+	if cfg.SplitThreshold < 2 {
+		return nil, stats, fmt.Errorf("bbr: split threshold %d must be >= 2", cfg.SplitThreshold)
+	}
+	if cfg.MaxFootprintWords < cfg.SplitThreshold {
+		return nil, stats, fmt.Errorf("bbr: max footprint %d below split threshold %d", cfg.MaxFootprintWords, cfg.SplitThreshold)
+	}
+	if err := p.Validate(); err != nil {
+		return nil, stats, fmt.Errorf("bbr: input program invalid: %w", err)
+	}
+
+	out := &program.Program{}
+	// firstPiece[i] is the new ID of old block i's entry.
+	firstPiece := make([]program.BlockID, len(p.Blocks))
+
+	for i := range p.Blocks {
+		old := &p.Blocks[i]
+		firstPiece[i] = program.BlockID(len(out.Blocks))
+		pieces := splitBlock(old, program.BlockID(i), cfg.SplitThreshold, &stats)
+		out.Blocks = append(out.Blocks, pieces...)
+	}
+
+	// Second pass: rewrite control-flow targets from old block IDs to the
+	// entry pieces of the new program. Chaining jumps between split
+	// pieces carry the sentinel target -1 and resolve to the next new
+	// block (their continuation piece is always appended immediately
+	// after them).
+	for i := range out.Blocks {
+		b := &out.Blocks[i]
+		switch b.Term {
+		case program.TermJump, program.TermBranch:
+			if b.Target == chainSentinel {
+				b.Target = program.BlockID(i + 1)
+			} else {
+				b.Target = firstPiece[b.Target]
+			}
+			if b.ExplicitFall {
+				b.FallTarget = firstPiece[b.FallTarget]
+			}
+		}
+		if b.LiteralWords > 0 {
+			stats.MovedLiterals++
+			if b.Footprint() > cfg.MaxFootprintWords {
+				return nil, stats, fmt.Errorf("bbr: block %d footprint %d words exceeds the %d-word page constraint",
+					i, b.Footprint(), cfg.MaxFootprintWords)
+			}
+		}
+	}
+
+	if err := out.Validate(); err != nil {
+		return nil, stats, fmt.Errorf("bbr: transform produced invalid program: %w", err)
+	}
+	return out, stats, nil
+}
+
+// chainSentinel marks the target of a chaining jump between split
+// pieces; Transform resolves it to the immediately following new block.
+const chainSentinel program.BlockID = -1
+
+// splitBlock turns old block oldID into one or more relocatable pieces,
+// each at most threshold instruction words. Intermediate pieces end in a
+// chaining jump (target chainSentinel); the final piece carries the
+// original terminator, made position-independent. Targets in the result
+// are still old block IDs (except sentinels); Transform remaps them.
+func splitBlock(old *program.BasicBlock, oldID program.BlockID, threshold int, stats *TransformStats) []program.BasicBlock {
+	// First make the terminator relocatable, which may grow the block by
+	// one jump word.
+	kinds := make([]program.InstrKind, len(old.Kinds))
+	copy(kinds, old.Kinds)
+	term := old.Term
+	target := old.Target
+	takenProb := old.TakenProb
+	explicitFall := old.ExplicitFall
+	fallTarget := old.FallTarget
+	transformAdded := old.TransformAdded
+
+	switch old.Term {
+	case program.TermFall:
+		// Append an unconditional jump to the successor.
+		kinds = append(kinds, program.KindBranch)
+		term = program.TermJump
+		target = oldID + 1
+		transformAdded = true
+		stats.InsertedJumps++
+		stats.AddedWords++
+	case program.TermBranch:
+		if !old.ExplicitFall {
+			// Append a jump covering the not-taken path.
+			kinds = append(kinds, program.KindBranch)
+			explicitFall = true
+			fallTarget = oldID + 1
+			transformAdded = true
+			stats.InsertedJumps++
+			stats.AddedWords++
+		}
+	}
+
+	size := len(kinds)
+	if size <= threshold {
+		return []program.BasicBlock{{
+			Size: size, LiteralWords: old.LiteralWords,
+			Term: term, Target: target, TakenProb: takenProb,
+			ExplicitFall: explicitFall, FallTarget: fallTarget,
+			TransformAdded: transformAdded,
+			Kinds:          kinds,
+		}}
+	}
+
+	// Split: leading pieces take threshold-1 instructions plus a chaining
+	// jump; the final piece keeps the (relocatable) terminator and the
+	// literal pool.
+	stats.SplitBlocks++
+	var pieces []program.BasicBlock
+	rest := kinds
+	for len(rest) > threshold {
+		head := make([]program.InstrKind, threshold-1, threshold)
+		copy(head, rest[:threshold-1])
+		head = append(head, program.KindBranch)
+		rest = rest[threshold-1:]
+		pieces = append(pieces, program.BasicBlock{
+			Size:           threshold,
+			Term:           program.TermJump,
+			Kinds:          head,
+			TransformAdded: true,
+			// Target: chaining jump to the next piece. The caller remaps
+			// old-block targets only; chain targets are absolute new IDs,
+			// so mark them with the sentinel -1 and fix below.
+			Target: -1,
+		})
+		stats.AddedWords++
+	}
+	tail := make([]program.InstrKind, len(rest))
+	copy(tail, rest)
+	pieces = append(pieces, program.BasicBlock{
+		Size: len(tail), LiteralWords: old.LiteralWords,
+		Term: term, Target: target, TakenProb: takenProb,
+		ExplicitFall: explicitFall, FallTarget: fallTarget,
+		TransformAdded: transformAdded,
+		Kinds:          tail,
+	})
+	stats.NewBlocks += len(pieces) - 1
+	return pieces
+}

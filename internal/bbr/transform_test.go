@@ -1,0 +1,214 @@
+package bbr
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/program"
+)
+
+// chain3: 0 falls to 1; 1 branches to 0 or falls to 2; 2 exits.
+func chain3() *program.Program {
+	return &program.Program{Blocks: []program.BasicBlock{
+		{Size: 3, Term: program.TermFall, Kinds: []program.InstrKind{program.KindALU, program.KindLoad, program.KindALU}},
+		{Size: 2, Term: program.TermBranch, Target: 0, TakenProb: 0.5, Kinds: []program.InstrKind{program.KindALU, program.KindBranch}},
+		{Size: 1, Term: program.TermExit, Kinds: []program.InstrKind{program.KindALU}},
+	}}
+}
+
+func TestTransformInsertsJumps(t *testing.T) {
+	p, stats, err := Transform(chain3(), DefaultTransformConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Block 0 (fall-through) gains a jump; block 1 (conditional) gains an
+	// explicit fall jump; block 2 (exit) is untouched.
+	if stats.InsertedJumps != 2 {
+		t.Errorf("InsertedJumps = %d, want 2", stats.InsertedJumps)
+	}
+	b0 := p.Blocks[0]
+	if b0.Term != program.TermJump || b0.Target != 1 || b0.Size != 4 {
+		t.Errorf("block 0 = %+v, want 4-word jump to 1", b0)
+	}
+	if b0.Kinds[3] != program.KindBranch {
+		t.Error("appended jump must be a branch instruction")
+	}
+	b1 := p.Blocks[1]
+	if b1.Term != program.TermBranch || !b1.ExplicitFall || b1.FallTarget != 2 || b1.Size != 3 {
+		t.Errorf("block 1 = %+v, want explicit-fall branch", b1)
+	}
+	if p.Blocks[2].Size != 1 || p.Blocks[2].Term != program.TermExit {
+		t.Error("exit block must be unchanged")
+	}
+}
+
+func TestTransformPreservesSemantics(t *testing.T) {
+	// The transformed program must visit the same original-block sequence
+	// as the source (with the same RNG), modulo split pieces.
+	src := program.Generate(program.GenConfig{Blocks: 120}, rand.New(rand.NewSource(5)))
+	dst, _, err := Transform(src, DefaultTransformConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Both walkers make identical branch decisions when TakenProbs align,
+	// so compare visited branch-decision sequences statistically: exit
+	// visit counts over a long walk should be very close.
+	countExits := func(p *program.Program, seed int64, steps int) int {
+		w := program.NewWalker(p, seed)
+		n := 0
+		for i := 0; i < steps; i++ {
+			b, _ := w.Next()
+			if p.Blocks[b].Term == program.TermExit {
+				n++
+			}
+		}
+		return n
+	}
+	// Same seed: decision streams differ in alignment, so compare rates.
+	a := countExits(src, 9, 150000)
+	b := countExits(dst, 9, 150000)
+	// The transformed program has slightly more blocks per iteration
+	// (chain pieces), so normalize per block executed; rates must be
+	// within 30%.
+	ra := float64(a)
+	rb := float64(b)
+	if ra == 0 || rb == 0 {
+		t.Fatalf("walkers never reached exit: src=%d dst=%d", a, b)
+	}
+	ratio := ra / rb
+	if ratio < 0.5 || ratio > 2.0 {
+		t.Errorf("exit rates diverge: src=%d dst=%d", a, b)
+	}
+}
+
+func TestTransformSplitsLargeBlocks(t *testing.T) {
+	p := &program.Program{Blocks: []program.BasicBlock{
+		{Size: 20, Term: program.TermFall, Kinds: make([]program.InstrKind, 20)},
+		{Size: 1, Term: program.TermExit, Kinds: []program.InstrKind{program.KindALU}},
+	}}
+	cfg := TransformConfig{SplitThreshold: 8, MaxFootprintWords: 1024}
+	out, stats, err := Transform(p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.SplitBlocks != 1 {
+		t.Errorf("SplitBlocks = %d, want 1", stats.SplitBlocks)
+	}
+	for i := range out.Blocks {
+		if out.Blocks[i].Size > 8 {
+			t.Errorf("block %d size %d exceeds threshold", i, out.Blocks[i].Size)
+		}
+	}
+	// Original program has 21 instructions (20 + exit). The fall jump and
+	// two chain jumps add 3: pieces 8+8+7, plus the exit block.
+	if got := out.StaticInstrs(); got != p.StaticInstrs()+stats.AddedWords {
+		t.Errorf("total words %d != original %d + added %d", got, p.StaticInstrs(), stats.AddedWords)
+	}
+	if stats.AddedWords != 3 {
+		t.Errorf("AddedWords = %d, want 3 (1 fall jump + 2 chain jumps)", stats.AddedWords)
+	}
+	// Chain pieces must jump to the immediately following block.
+	for i := range out.Blocks[:len(out.Blocks)-1] {
+		b := out.Blocks[i]
+		if b.Term == program.TermJump && b.Target == program.BlockID(i+1) {
+			return // found at least one chain
+		}
+	}
+	t.Error("no chaining jump found after split")
+}
+
+func TestTransformKeepsLiteralsWithFinalPiece(t *testing.T) {
+	p := &program.Program{Blocks: []program.BasicBlock{
+		{Size: 20, LiteralWords: 3, Term: program.TermFall, Kinds: make([]program.InstrKind, 20)},
+		{Size: 1, Term: program.TermExit, Kinds: []program.InstrKind{program.KindALU}},
+	}}
+	out, stats, err := Transform(p, TransformConfig{SplitThreshold: 8, MaxFootprintWords: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.MovedLiterals != 1 {
+		t.Errorf("MovedLiterals = %d, want 1", stats.MovedLiterals)
+	}
+	// Literals must sit on exactly one piece (the final one of the split
+	// chain).
+	withLit := -1
+	for i := range out.Blocks {
+		if out.Blocks[i].LiteralWords == 3 {
+			if withLit >= 0 {
+				t.Fatal("literal pool duplicated across pieces")
+			}
+			withLit = i
+		}
+	}
+	if withLit < 0 {
+		t.Fatal("literal pool lost")
+	}
+	// Pieces of the split 21-word block are 8, 8, 7; the pool must ride
+	// the final (7-word) piece, which precedes the exit block.
+	if withLit != 2 || out.Blocks[withLit].Size != 7 {
+		t.Errorf("literal pool on piece %d (size %d), want final piece 2 (size 7)", withLit, out.Blocks[withLit].Size)
+	}
+}
+
+func TestTransformRejectsPageViolation(t *testing.T) {
+	p := &program.Program{Blocks: []program.BasicBlock{
+		{Size: 2, LiteralWords: 2000, Term: program.TermFall, Kinds: make([]program.InstrKind, 2)},
+		{Size: 1, Term: program.TermExit, Kinds: []program.InstrKind{program.KindALU}},
+	}}
+	if _, _, err := Transform(p, DefaultTransformConfig()); err == nil {
+		t.Error("2000-word literal pool must violate the 1024-word page constraint")
+	}
+}
+
+func TestTransformRejectsBadConfig(t *testing.T) {
+	if _, _, err := Transform(chain3(), TransformConfig{SplitThreshold: 1, MaxFootprintWords: 1024}); err == nil {
+		t.Error("threshold 1 must be rejected")
+	}
+	if _, _, err := Transform(chain3(), TransformConfig{SplitThreshold: 8, MaxFootprintWords: 4}); err == nil {
+		t.Error("footprint below threshold must be rejected")
+	}
+}
+
+func TestTransformRejectsInvalidInput(t *testing.T) {
+	p := chain3()
+	p.Blocks[0].Size = 0
+	if _, _, err := Transform(p, DefaultTransformConfig()); err == nil {
+		t.Error("invalid input program must be rejected")
+	}
+}
+
+func TestTransformDoesNotMutateInput(t *testing.T) {
+	src := chain3()
+	want := src.Blocks[0].Size
+	if _, _, err := Transform(src, DefaultTransformConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if src.Blocks[0].Size != want || src.Blocks[0].Term != program.TermFall {
+		t.Error("Transform mutated its input")
+	}
+}
+
+func TestTransformGeneratedPrograms(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		src := program.Generate(program.GenConfig{Blocks: 300}, rand.New(rand.NewSource(seed)))
+		out, stats, err := Transform(src, DefaultTransformConfig())
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := out.Validate(); err != nil {
+			t.Fatalf("seed %d: output invalid: %v", seed, err)
+		}
+		for i := range out.Blocks {
+			if out.Blocks[i].Size > DefaultTransformConfig().SplitThreshold {
+				t.Fatalf("seed %d: block %d size %d over threshold", seed, i, out.Blocks[i].Size)
+			}
+			if out.Blocks[i].Term == program.TermFall {
+				t.Fatalf("seed %d: block %d still falls through — not relocatable", seed, i)
+			}
+		}
+		if stats.AddedWords != out.StaticInstrs()-src.StaticInstrs() {
+			t.Fatalf("seed %d: AddedWords %d inconsistent with instruction growth %d",
+				seed, stats.AddedWords, out.StaticInstrs()-src.StaticInstrs())
+		}
+	}
+}

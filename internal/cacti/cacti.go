@@ -1,0 +1,356 @@
+// Package cacti is a small analytic cache area/latency/leakage model in
+// the spirit of CACTI 6.5 [32], standing in for the authors' modified
+// CACTI runs. It computes, for each fault-tolerance scheme's cache
+// design, the normalized area, normalized static power and access-path
+// timing that Table III and Figure 9 report.
+//
+// The model counts cells and calibrated per-structure overheads rather
+// than extracting RC netlists: large arrays get a periphery factor, side
+// structures that extend the tag array (FMAP, StoredPattern) are costed
+// at cell area only, CAM-based structures (FBA, IDC) carry a calibrated
+// per-entry overhead for comparators and match logic. The calibration
+// targets are Table III itself; the model reproduces every row within
+// ~2.5 percentage points, and EXPERIMENTS.md tabulates model-vs-paper.
+//
+// Latency overheads (the "+1 cycle" column) are design declarations taken
+// from the paper's argument (e.g. the 8T cache is *granted* one extra
+// cycle on the assumption that its 28% area growth stretches wire-
+// dominated paths); the FO4 path model (Figure 9) verifies the zero-
+// overhead claims structurally: the FFW pattern path and the BBR way-mux
+// path are shorter than the data array's row-to-column-MUX path.
+package cacti
+
+import "math"
+
+// Tech bundles the 45 nm technology constants.
+type Tech struct {
+	// Cell areas in µm² (45 nm; the 8T cell is ~30% larger [34], a CAM
+	// cell roughly twice a 6T).
+	Cell6TUm2, Cell8TUm2, CellCAMUm2 float64
+	// PeripheryFactor multiplies main-array cell area for decoders, sense
+	// amplifiers and wiring.
+	PeripheryFactor float64
+	// CAMEntryOverheadUm2 is per-entry match/priority logic for fully- or
+	// highly-associative word buffers.
+	CAMEntryOverheadUm2 float64
+	// Leakage per bit, relative to a 6T cell. The 8T cell adds one
+	// leakage path partly offset by the stack effect: +0.2% [34]. CAM
+	// cells leak roughly double.
+	Leak6T, Leak8T, LeakCAM float64
+	// FO4 path model coefficients: path = K0 + K1·log2(bits) +
+	// K2·sqrt(bits·areaScale), calibrated to Figure 9's 42.2 FO4 data
+	// array and 39.4 FO4 pattern path.
+	K0, K1, K2 float64
+	// MuxFO4 is one 4:1 multiplexer stage; CompareFO4 a tag comparator.
+	MuxFO4, CompareFO4 float64
+}
+
+// Default45nm returns the calibrated 45 nm constants.
+func Default45nm() Tech {
+	return Tech{
+		Cell6TUm2: 0.346, Cell8TUm2: 0.450, CellCAMUm2: 0.692,
+		PeripheryFactor:     1.60,
+		CAMEntryOverheadUm2: 180,
+		Leak6T:              1.0, Leak8T: 1.002, LeakCAM: 2.2,
+		K0: 20.8, K1: 1.0, K2: 0.00664,
+		MuxFO4: 2.5, CompareFO4: 4.0,
+	}
+}
+
+// CellKind selects the storage cell of a structure.
+type CellKind int
+
+const (
+	// Kind6T is the conventional high-density cell (data arrays).
+	Kind6T CellKind = iota
+	// Kind8T is the robust read-decoupled cell (tags, side structures).
+	Kind8T
+	// KindCAM is a content-addressable cell (FBA tags).
+	KindCAM
+)
+
+func (t Tech) cellArea(k CellKind) float64 {
+	switch k {
+	case Kind8T:
+		return t.Cell8TUm2
+	case KindCAM:
+		return t.CellCAMUm2
+	default:
+		return t.Cell6TUm2
+	}
+}
+
+func (t Tech) cellLeak(k CellKind) float64 {
+	switch k {
+	case Kind8T:
+		return t.Leak8T
+	case KindCAM:
+		return t.LeakCAM
+	default:
+		return t.Leak6T
+	}
+}
+
+// Structure is one auxiliary array attached to a cache design.
+type Structure struct {
+	Name string
+	Bits int
+	Cell CellKind
+	// CAMEntries adds per-entry match-logic overhead (0 for plain SRAM).
+	CAMEntries int
+	// SharesPeriphery marks tag-array extensions (FMAP, StoredPattern)
+	// that reuse existing decoders: they cost cell area only.
+	SharesPeriphery bool
+}
+
+// Design is a complete L1 cache organization under one scheme.
+type Design struct {
+	Name string
+	// Main arrays.
+	DataBits int
+	DataCell CellKind
+	TagBits  int
+	TagCell  CellKind
+	// Side structures.
+	Extras []Structure
+	// MuxAreaFrac is distributed multiplexer overhead as a fraction of
+	// base cache area (BBR's way-select muxes).
+	MuxAreaFrac float64
+	// ExtraCycles is the declared hit-latency overhead (Table III).
+	ExtraCycles int
+}
+
+// Paper geometry: 32 KB data, 1024 frames, 20 tag/state bits per frame.
+const (
+	dataBits = 32 * 1024 * 8
+	tagBits  = 1024 * 20
+)
+
+// Baseline is the conventional 6T cache every Table III column is
+// normalized to (6T data and tags, no extras).
+func Baseline() Design {
+	return Design{Name: "6T baseline", DataBits: dataBits, DataCell: Kind6T, TagBits: tagBits, TagCell: Kind6T}
+}
+
+// EightT is the all-8T cache: reliable at 400 mV, ~28-30% area, +1 cycle.
+func EightT() Design {
+	return Design{Name: "8T cache", DataBits: dataBits, DataCell: Kind8T, TagBits: tagBits, TagCell: Kind8T, ExtraCycles: 1}
+}
+
+// FFWData is the fault-free-window data cache: 6T data, 8T tags extended
+// with the FMAP and StoredPattern arrays (8 bits each per frame).
+func FFWData() Design {
+	return Design{
+		Name: "FFW (dcache)", DataBits: dataBits, DataCell: Kind6T, TagBits: tagBits, TagCell: Kind8T,
+		Extras: []Structure{
+			{Name: "FMAP", Bits: 1024 * 8, Cell: Kind8T, SharesPeriphery: true},
+			{Name: "StoredPattern", Bits: 1024 * 8, Cell: Kind8T, SharesPeriphery: true},
+		},
+	}
+}
+
+// BBRInstr is the basic-block-relocation instruction cache: 6T data, 8T
+// tags, way-select multiplexers for the direct-mapped mode.
+func BBRInstr() Design {
+	return Design{
+		Name: "BBR (icache)", DataBits: dataBits, DataCell: Kind6T, TagBits: tagBits, TagCell: Kind8T,
+		MuxAreaFrac: 0.001,
+	}
+}
+
+// SimpleWdis is simple word disable: 8T tags plus the FMAP.
+func SimpleWdis() Design {
+	return Design{
+		Name: "Simple wdis", DataBits: dataBits, DataCell: Kind6T, TagBits: tagBits, TagCell: Kind8T,
+		Extras: []Structure{{Name: "FMAP", Bits: 1024 * 8, Cell: Kind8T, SharesPeriphery: true}},
+	}
+}
+
+// Wilkerson is word-disable with line pairing: per-logical-line slot
+// masks and physical-frame select bits, plus the word-combining
+// multiplexers; +1 cycle.
+func Wilkerson() Design {
+	return Design{
+		Name: "Wilkerson", DataBits: dataBits, DataCell: Kind6T, TagBits: tagBits, TagCell: Kind8T,
+		Extras: []Structure{
+			// 8 defect bits + 8 frame-select bits per logical line.
+			{Name: "slot masks", Bits: 512 * 16, Cell: Kind8T, SharesPeriphery: true},
+		},
+		MuxAreaFrac: 0.012,
+		ExtraCycles: 1,
+	}
+}
+
+// FBA is the fault buffer array with the given entry count: word-disable
+// FMAP plus a fully-associative word buffer (CAM tags + 8T data); +1
+// cycle for the CAM lookup.
+func FBA(entries int) Design {
+	return Design{
+		Name: "FBA", DataBits: dataBits, DataCell: Kind6T, TagBits: tagBits, TagCell: Kind8T,
+		Extras: []Structure{
+			{Name: "FMAP", Bits: 1024 * 8, Cell: Kind8T, SharesPeriphery: true},
+			{Name: "buffer data", Bits: entries * 32, Cell: Kind8T},
+			{Name: "buffer tags", Bits: entries * 30, Cell: KindCAM, CAMEntries: entries},
+		},
+		ExtraCycles: 1,
+	}
+}
+
+// IDC is the inquisitive defect cache with the given entry count: a
+// set-associative auxiliary cache; +1 cycle.
+func IDC(entries int) Design {
+	return Design{
+		Name: "IDC", DataBits: dataBits, DataCell: Kind6T, TagBits: tagBits, TagCell: Kind8T,
+		Extras: []Structure{
+			{Name: "FMAP", Bits: 1024 * 8, Cell: Kind8T, SharesPeriphery: true},
+			{Name: "aux data", Bits: entries * 32, Cell: Kind8T},
+			// Tag storage plus the per-way parallel comparators, costed
+			// as match-logic-heavy cells.
+			{Name: "aux tags", Bits: entries * 28, Cell: KindCAM, CAMEntries: entries},
+		},
+		ExtraCycles: 1,
+	}
+}
+
+// SECDED is the per-word (39,32) ECC design from the related-work class:
+// 7 check bits per 32-bit word in the data array plus the encoder/decoder
+// logic; +1 cycle for the correction stage. Not part of the paper's
+// Table III — provided for the extension experiments that measure the
+// paper's "multi-bit errors overwhelm ECC" claim.
+func SECDED() Design {
+	return Design{
+		Name: "SECDED", DataBits: dataBits, DataCell: Kind6T, TagBits: tagBits, TagCell: Kind8T,
+		Extras: []Structure{
+			{Name: "check bits", Bits: dataBits * 7 / 32, Cell: Kind6T},
+		},
+		MuxAreaFrac: 0.01, // encoder/decoder trees
+		ExtraCycles: 1,
+	}
+}
+
+// BitFix is Wilkerson's second scheme [4] at word granularity: no new
+// storage (a quarter of the existing data array is repurposed for repair
+// patterns), just fix-up multiplexers and per-frame repair tags. Capacity
+// falls to 75%; +1 cycle. Extension baseline.
+func BitFix() Design {
+	return Design{
+		Name: "Bit-fix", DataBits: dataBits, DataCell: Kind6T, TagBits: tagBits, TagCell: Kind8T,
+		Extras: []Structure{
+			// Repair position tags: ~2 entries x (3 position + 1 valid)
+			// bits per data frame.
+			{Name: "repair tags", Bits: 768 * 8, Cell: Kind8T, SharesPeriphery: true},
+		},
+		MuxAreaFrac: 0.015,
+		ExtraCycles: 1,
+	}
+}
+
+// AreaUm2 returns the design's total area under the technology model.
+func (t Tech) AreaUm2(d Design) float64 {
+	base := (float64(d.DataBits)*t.cellArea(d.DataCell) + float64(d.TagBits)*t.cellArea(d.TagCell)) * t.PeripheryFactor
+	area := base
+	for _, s := range d.Extras {
+		a := float64(s.Bits) * t.cellArea(s.Cell)
+		if !s.SharesPeriphery {
+			a *= 1.0 // standalone small arrays still dominated by the explicit CAM overhead below
+		}
+		a += float64(s.CAMEntries) * t.CAMEntryOverheadUm2
+		area += a
+	}
+	area += d.MuxAreaFrac * base
+	return area
+}
+
+// RelativeArea returns the design's area normalized to the conventional
+// 6T baseline (Table III's first column).
+func (t Tech) RelativeArea(d Design) float64 {
+	return t.AreaUm2(d) / t.AreaUm2(Baseline())
+}
+
+// muxLeakFactor scales distributed multiplexer leakage relative to the
+// same area of SRAM (logic leaks less per area than dense cell arrays).
+const muxLeakFactor = 0.7
+
+// RelativeLeakage returns the design's static power normalized to the 6T
+// baseline (Table III's second column). Leakage scales with bit count and
+// cell type; CAM match logic is attributed to its cells, distributed
+// multiplexers to their area share.
+func (t Tech) RelativeLeakage(d Design) float64 {
+	leak := func(d Design) float64 {
+		l := float64(d.DataBits)*t.cellLeak(d.DataCell) + float64(d.TagBits)*t.cellLeak(d.TagCell)
+		for _, s := range d.Extras {
+			l += float64(s.Bits) * t.cellLeak(s.Cell)
+		}
+		base := float64(dataBits + tagBits)
+		l += d.MuxAreaFrac * base * muxLeakFactor
+		return l
+	}
+	return leak(d) / leak(Baseline())
+}
+
+// PathFO4 returns the critical-path delay of an array of the given size,
+// with areaScale stretching the wire-dominated term (8T arrays are ~1.3×
+// the area, wires ~√1.3 longer).
+func (t Tech) PathFO4(bits int, areaScale float64) float64 {
+	b := float64(bits)
+	return t.K0 + t.K1*math.Log2(b) + t.K2*math.Sqrt(b*areaScale)
+}
+
+// Fig9Path is one bar of Figure 9's timeline.
+type Fig9Path struct {
+	Name string
+	FO4  float64
+}
+
+// Fig9Timeline reproduces Figure 9: the parallel critical paths of the
+// FFW data cache. The stored/fault pattern path (array + MUX1 + MUX2 and
+// the remap logic) must finish before the data array's row-to-column-MUX
+// point, which is why FFW adds no latency.
+func (t Tech) Fig9Timeline() []Fig9Path {
+	dataArray := t.PathFO4(dataBits, 1)
+	pattern := t.PathFO4(1024*8, 1) + 2*t.MuxFO4
+	tag := t.PathFO4(tagBits, 1) + t.CompareFO4
+	return []Fig9Path{
+		{Name: "data array (row addr to column MUX)", FO4: dataArray},
+		{Name: "stored pattern + MUX1/MUX2 + remap", FO4: pattern},
+		{Name: "fault pattern (FMAP) + MUX3 + remap", FO4: pattern},
+		{Name: "tag array + compare", FO4: tag},
+	}
+}
+
+// TableIIIRow is one scheme's static-overhead row.
+type TableIIIRow struct {
+	Scheme      string
+	AreaPct     float64 // normalized area, percent
+	StaticPct   float64 // normalized static power, percent
+	ExtraCycles int
+}
+
+// TableIII computes the model's version of the paper's Table III.
+func (t Tech) TableIII() []TableIIIRow {
+	designs := []Design{EightT(), FFWData(), BBRInstr(), FBA(64), Wilkerson(), IDC(64), SimpleWdis()}
+	rows := make([]TableIIIRow, len(designs))
+	for i, d := range designs {
+		rows[i] = TableIIIRow{
+			Scheme:      d.Name,
+			AreaPct:     100 * t.RelativeArea(d),
+			StaticPct:   100 * t.RelativeLeakage(d),
+			ExtraCycles: d.ExtraCycles,
+		}
+	}
+	return rows
+}
+
+// PaperTableIII returns the paper's Table III verbatim, for side-by-side
+// comparison in reports and tests.
+func PaperTableIII() []TableIIIRow {
+	return []TableIIIRow{
+		{Scheme: "8T cache", AreaPct: 128.0, StaticPct: 100.2, ExtraCycles: 1},
+		{Scheme: "FFW (dcache)", AreaPct: 105.2, StaticPct: 106.4, ExtraCycles: 0},
+		{Scheme: "BBR (icache)", AreaPct: 101.1, StaticPct: 100.1, ExtraCycles: 0},
+		{Scheme: "FBA", AreaPct: 112.0, StaticPct: 106.1, ExtraCycles: 1},
+		{Scheme: "Wilkerson", AreaPct: 103.4, StaticPct: 104.5, ExtraCycles: 1},
+		{Scheme: "IDC", AreaPct: 113.7, StaticPct: 105.9, ExtraCycles: 1},
+		{Scheme: "Simple wdis", AreaPct: 103.3, StaticPct: 103.6, ExtraCycles: 0},
+	}
+}

@@ -1,0 +1,142 @@
+package cacti
+
+import (
+	"math"
+	"testing"
+)
+
+func TestTableIIIWithinToleranceOfPaper(t *testing.T) {
+	tech := Default45nm()
+	model := tech.TableIII()
+	paper := PaperTableIII()
+	if len(model) != len(paper) {
+		t.Fatalf("rows: model %d, paper %d", len(model), len(paper))
+	}
+	const tolArea, tolStatic = 3.0, 1.5 // percentage points
+	for i := range model {
+		m, p := model[i], paper[i]
+		if m.Scheme != p.Scheme {
+			t.Fatalf("row %d: scheme %q vs %q", i, m.Scheme, p.Scheme)
+		}
+		if math.Abs(m.AreaPct-p.AreaPct) > tolArea {
+			t.Errorf("%s area: model %.1f%%, paper %.1f%%", m.Scheme, m.AreaPct, p.AreaPct)
+		}
+		if math.Abs(m.StaticPct-p.StaticPct) > tolStatic {
+			t.Errorf("%s static: model %.1f%%, paper %.1f%%", m.Scheme, m.StaticPct, p.StaticPct)
+		}
+		if m.ExtraCycles != p.ExtraCycles {
+			t.Errorf("%s latency: model %d, paper %d", m.Scheme, m.ExtraCycles, p.ExtraCycles)
+		}
+	}
+}
+
+func TestAreaOrderingMatchesPaper(t *testing.T) {
+	// Who is big and who is small must match Table III: 8T >> IDC ≈ FBA >
+	// FFW > Wilkerson ≈ wdis > BBR > baseline.
+	tech := Default45nm()
+	a := func(d Design) float64 { return tech.RelativeArea(d) }
+	if !(a(EightT()) > a(IDC(64)) && a(IDC(64)) > a(FFWData()) &&
+		a(FBA(64)) > a(FFWData()) && a(FFWData()) > a(BBRInstr()) &&
+		a(BBRInstr()) > 1.0) {
+		t.Errorf("area ordering broken: 8T=%.3f IDC=%.3f FBA=%.3f FFW=%.3f BBR=%.3f",
+			a(EightT()), a(IDC(64)), a(FBA(64)), a(FFWData()), a(BBRInstr()))
+	}
+}
+
+func TestHeadlineOverheads(t *testing.T) {
+	// The abstract's claims: ~5.2% data-cache and ~1.1% instruction-cache
+	// area overhead; both with zero latency overhead.
+	tech := Default45nm()
+	ffw := 100 * (tech.RelativeArea(FFWData()) - 1)
+	bbr := 100 * (tech.RelativeArea(BBRInstr()) - 1)
+	if ffw < 3.5 || ffw > 8 {
+		t.Errorf("FFW area overhead = %.1f%%, paper 5.2%%", ffw)
+	}
+	if bbr < 0.5 || bbr > 3 {
+		t.Errorf("BBR area overhead = %.1f%%, paper 1.1%%", bbr)
+	}
+	if FFWData().ExtraCycles != 0 || BBRInstr().ExtraCycles != 0 {
+		t.Error("FFW/BBR must declare zero latency overhead")
+	}
+}
+
+func Test8TLeakageNearBaseline(t *testing.T) {
+	// Table III: 8T static power is 100.2% — the extra leakage path is
+	// almost cancelled by the stack effect.
+	tech := Default45nm()
+	got := 100 * tech.RelativeLeakage(EightT())
+	if math.Abs(got-100.2) > 0.05 {
+		t.Errorf("8T leakage = %.2f%%, want 100.2%%", got)
+	}
+}
+
+func TestFig9PatternPathShorterThanDataArray(t *testing.T) {
+	// Figure 9's conclusion: the stored/fault pattern paths finish before
+	// the data array's row-to-column-MUX point, so FFW adds no cycles.
+	tech := Default45nm()
+	paths := tech.Fig9Timeline()
+	var data, pattern, tag float64
+	for _, p := range paths {
+		switch p.Name {
+		case "data array (row addr to column MUX)":
+			data = p.FO4
+		case "stored pattern + MUX1/MUX2 + remap":
+			pattern = p.FO4
+		case "tag array + compare":
+			tag = p.FO4
+		}
+	}
+	if data == 0 || pattern == 0 || tag == 0 {
+		t.Fatalf("missing paths: %+v", paths)
+	}
+	if pattern >= data {
+		t.Errorf("pattern path %.1f FO4 must be shorter than data array %.1f FO4", pattern, data)
+	}
+	if tag >= data {
+		t.Errorf("tag path %.1f FO4 must be shorter than data array %.1f FO4", tag, data)
+	}
+}
+
+func TestFig9CalibrationNumbers(t *testing.T) {
+	// The model is calibrated to the paper's 42.2 FO4 data-array path and
+	// 39.4 FO4 pattern path.
+	tech := Default45nm()
+	paths := tech.Fig9Timeline()
+	if got := paths[0].FO4; math.Abs(got-42.2) > 0.5 {
+		t.Errorf("data array path = %.2f FO4, want ~42.2", got)
+	}
+	if got := paths[1].FO4; math.Abs(got-39.4) > 0.5 {
+		t.Errorf("pattern path = %.2f FO4, want ~39.4", got)
+	}
+}
+
+func TestPathFO4Monotone(t *testing.T) {
+	tech := Default45nm()
+	if tech.PathFO4(1024, 1) >= tech.PathFO4(8192, 1) {
+		t.Error("bigger arrays must be slower")
+	}
+	if tech.PathFO4(dataBits, 1) >= tech.PathFO4(dataBits, 1.3) {
+		t.Error("larger cell area must stretch the wire term")
+	}
+}
+
+func TestFBAEntriesScaleArea(t *testing.T) {
+	tech := Default45nm()
+	if tech.RelativeArea(FBA(64)) >= tech.RelativeArea(FBA(1024)) {
+		t.Error("more FBA entries must cost more area")
+	}
+	// 1024-entry FBA+ is substantially bigger than the realistic 64.
+	if tech.RelativeArea(FBA(1024)) < tech.RelativeArea(FBA(64))+0.2 {
+		t.Error("FBA+ should carry a large area premium (paper ignores it in energy as a favor)")
+	}
+}
+
+func TestCellAccessors(t *testing.T) {
+	tech := Default45nm()
+	if tech.cellArea(Kind8T) <= tech.cellArea(Kind6T) {
+		t.Error("8T cell must be larger than 6T")
+	}
+	if tech.cellLeak(KindCAM) <= tech.cellLeak(Kind8T) {
+		t.Error("CAM cell must leak more")
+	}
+}

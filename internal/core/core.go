@@ -1,0 +1,207 @@
+// Package core defines the contracts shared by every L1 fault-tolerance
+// scheme in the evaluation — the paper's two proposals (FFW for the data
+// cache, BBR for the instruction cache) and the comparison schemes — plus
+// the memory-system plumbing below L1: the unified write-back L2 and main
+// memory.
+//
+// A scheme is anything that answers L1 accesses: it reports hit/miss, the
+// latency the core observes, and the demand traffic it sent to the next
+// level. The CPU timing model (package cpu) consumes these interfaces and
+// is completely scheme-agnostic.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cache"
+)
+
+// AccessOutcome describes what one L1 access did, as seen by the core and
+// the memory system.
+type AccessOutcome struct {
+	// Hit reports whether the L1 satisfied the access without demand
+	// traffic to the next level (for FFW, the requested word was present
+	// in the fault-free window).
+	Hit bool
+	// Latency is the total cycle cost of this access on the load-use /
+	// fetch path: base L1 latency, plus scheme overhead, plus next-level
+	// latency on a miss.
+	Latency int
+	// L2Reads counts demand read accesses this access issued to the L2
+	// (0 or 1); this is the quantity Figure 11 plots per 1000
+	// instructions.
+	L2Reads int
+	// MemReads counts accesses that continued past the L2 to main memory.
+	MemReads int
+}
+
+// DataCache is an L1 data cache under some fault-tolerance scheme.
+// The paper's L1D is write-through with no write-allocate, so Write
+// reports buffered store traffic but never demand fills.
+type DataCache interface {
+	// Name identifies the scheme (for reports).
+	Name() string
+	// HitLatency is the cycle cost of a hit, including any scheme
+	// overhead on the critical path (Table III's latency column).
+	HitLatency() int
+	// Read performs a load of the word at addr.
+	Read(addr uint64) AccessOutcome
+	// Write performs a store to the word at addr.
+	Write(addr uint64) AccessOutcome
+}
+
+// InstrCache is an L1 instruction cache under some fault-tolerance
+// scheme.
+type InstrCache interface {
+	Name() string
+	HitLatency() int
+	// Fetch performs an instruction fetch of the word at addr.
+	Fetch(addr uint64) AccessOutcome
+}
+
+// MemoryLatencyNS is the main-memory access latency in nanoseconds. It is
+// fixed in wall-clock terms; the cycle cost therefore grows with core
+// frequency (the L2, by contrast, is frequency-scaled with the core and
+// costs a constant 10 cycles).
+const MemoryLatencyNS = 60
+
+// MemLatencyCycles converts the fixed memory latency to core cycles at
+// the given frequency, rounding up.
+func MemLatencyCycles(freqMHz float64) int {
+	cycles := MemoryLatencyNS * freqMHz / 1e3
+	n := int(cycles)
+	if float64(n) < cycles {
+		n++
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// WriteBufferEntries is the depth of the coalescing write buffer between
+// the write-through L1D and the L2. The paper assumes such a buffer so
+// that store traffic does not stall the core and stays constant across
+// schemes; eight block-granularity entries is a typical embedded sizing.
+const WriteBufferEntries = 8
+
+// NextLevel models everything below the L1s: the shared unified L2, the
+// coalescing write buffer in front of it, and main memory. Both L1
+// caches of a core reference one NextLevel.
+type NextLevel struct {
+	l2         *cache.Cache
+	memLatency int // cycles
+
+	memReads   uint64
+	wordWrites uint64 // write-through store traffic in words
+	drains     uint64 // block-granularity L2 writes after coalescing
+
+	// Coalescing write buffer: FIFO of block addresses with pending
+	// stores. A store to a buffered block merges for free.
+	wb []uint64
+}
+
+// NewNextLevel builds the paper's 512 KB/8-way/10-cycle write-back L2
+// over a memory with the given latency in core cycles.
+func NewNextLevel(memLatencyCycles int) *NextLevel {
+	if memLatencyCycles < 1 {
+		panic(fmt.Sprintf("core: memory latency %d cycles must be >= 1", memLatencyCycles))
+	}
+	return &NextLevel{
+		l2:         cache.MustNew(cache.L2Config()),
+		memLatency: memLatencyCycles,
+		wb:         make([]uint64, 0, WriteBufferEntries),
+	}
+}
+
+// L2 exposes the underlying L2 simulator (read-only use intended).
+func (n *NextLevel) L2() *cache.Cache { return n.l2 }
+
+// MemLatency returns the configured memory latency in cycles.
+func (n *NextLevel) MemLatency() int { return n.memLatency }
+
+// ReadBlock performs a demand read of addr's block: an L2 access, and a
+// memory access beneath it on an L2 miss. A pending store to the same
+// block in the write buffer drains first, so reads always observe the
+// written data. It returns the latency beyond the L1 and whether the L2
+// hit.
+func (n *NextLevel) ReadBlock(addr uint64) (latency int, l2Hit bool) {
+	block := cache.BlockAddr(addr)
+	for i, b := range n.wb {
+		if b == block {
+			n.wb = append(n.wb[:i], n.wb[i+1:]...)
+			n.drain(block)
+			break
+		}
+	}
+	res := n.l2.Access(addr, false)
+	latency = n.l2.Config().HitLatency
+	if !res.Hit {
+		latency += n.memLatency
+		n.memReads++
+		// A dirty victim writes back to memory off the critical path; it
+		// costs bandwidth, not load-use latency.
+	}
+	return latency, res.Hit
+}
+
+// drain writes one buffered block into the L2.
+func (n *NextLevel) drain(block uint64) {
+	n.drains++
+	n.l2.Access(block*cache.BlockBytes, true)
+}
+
+// WriteWord absorbs one word of write-through store traffic into the
+// coalescing write buffer: stores to a buffered block merge for free;
+// when the FIFO is full, the oldest block drains to the L2. Stores cost
+// no core stall and do not perturb the demand-read statistics that
+// Figure 11 reports.
+func (n *NextLevel) WriteWord(addr uint64) {
+	n.wordWrites++
+	block := cache.BlockAddr(addr)
+	for i, b := range n.wb {
+		if b == block {
+			// Coalesce: refresh the entry's position (LRU-ish FIFO).
+			n.wb = append(append(n.wb[:i], n.wb[i+1:]...), block)
+			return
+		}
+	}
+	if len(n.wb) >= WriteBufferEntries {
+		oldest := n.wb[0]
+		n.wb = n.wb[1:]
+		n.drain(oldest)
+	}
+	n.wb = append(n.wb, block)
+}
+
+// DemandReads returns the number of demand read accesses the L2 has
+// served (Figure 11's numerator).
+func (n *NextLevel) DemandReads() uint64 { return n.l2.Stats().Reads }
+
+// MemReads returns the number of reads that went past the L2 to memory.
+func (n *NextLevel) MemReads() uint64 { return n.memReads }
+
+// WordWrites returns the write-through store traffic in words (before
+// coalescing).
+func (n *NextLevel) WordWrites() uint64 { return n.wordWrites }
+
+// BlockDrains returns the block-granularity L2 writes after coalescing;
+// BlockDrains/WordWrites is the buffer's coalescing ratio.
+func (n *NextLevel) BlockDrains() uint64 { return n.drains }
+
+// Outcome helpers used by scheme implementations.
+
+// HitOutcome is an L1 hit costing the given latency.
+func HitOutcome(latency int) AccessOutcome {
+	return AccessOutcome{Hit: true, Latency: latency}
+}
+
+// MissOutcome is an L1 miss: base latency plus next-level latency.
+func MissOutcome(l1Latency int, next *NextLevel, addr uint64) AccessOutcome {
+	lat, l2Hit := next.ReadBlock(addr)
+	out := AccessOutcome{Latency: l1Latency + lat, L2Reads: 1}
+	if !l2Hit {
+		out.MemReads = 1
+	}
+	return out
+}

@@ -1,0 +1,32 @@
+package dvfs_test
+
+import (
+	"fmt"
+
+	"repro/internal/dvfs"
+)
+
+// Table II: the DVFS ladder the whole evaluation walks.
+func ExampleOperatingPoints() {
+	for _, op := range dvfs.OperatingPoints() {
+		fmt.Printf("%dmV %4.0fMHz pfail=%.1e\n", op.VoltageMV, op.FreqMHz, op.PfailBit)
+	}
+	// Output:
+	// 760mV 1607MHz pfail=0.0e+00
+	// 560mV 1089MHz pfail=1.0e-04
+	// 520mV  958MHz pfail=3.2e-04
+	// 480mV  818MHz pfail=1.0e-03
+	// 440mV  638MHz pfail=3.2e-03
+	// 400mV  475MHz pfail=1.0e-02
+}
+
+// Energy scaling laws from Section VI-C: dynamic per-event energy falls
+// with the square of the voltage ratio, static power linearly.
+func ExampleScaleDynamicEnergy() {
+	nominal := dvfs.Nominal()
+	p400, _ := dvfs.PointAt(400)
+	fmt.Printf("dynamic x%.3f  static x%.3f\n",
+		dvfs.ScaleDynamicEnergy(p400, nominal), dvfs.ScaleStaticPower(p400, nominal))
+	// Output:
+	// dynamic x0.277  static x0.526
+}

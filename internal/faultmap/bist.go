@@ -1,0 +1,128 @@
+package faultmap
+
+import (
+	"math/rand"
+
+	"repro/internal/sram"
+)
+
+// Array simulates an SRAM data array with manufacturing defects injected
+// at word granularity. A defective word has one or more stuck bits; reads
+// return the written value with the stuck bits forced, which is how BIST
+// observes the defect.
+type Array struct {
+	data  []uint32
+	stuck []stuckBits
+	// alias implements address-decoder faults: access to word w lands on
+	// alias[w]. nil means the decoder is healthy.
+	alias []int32
+}
+
+// stuckBits describes the defect in one word: bits in mask are stuck at
+// the corresponding bit of value.
+type stuckBits struct {
+	mask  uint32
+	value uint32
+	mode  sram.FailureMode
+}
+
+// NewArray builds an array whose defects follow the given fault map. Each
+// defective word receives a geometrically distributed number of stuck
+// bits (at least one) at random positions and polarities, and a failure
+// mode drawn from the model's mode shares; fault-free words behave
+// ideally. The rng drives defect details only — the defective/fault-free
+// partition comes entirely from the map.
+func NewArray(m *Map, model *sram.Model, rng *rand.Rand) *Array {
+	a := &Array{
+		data:  make([]uint32, m.Words()),
+		stuck: make([]stuckBits, m.Words()),
+	}
+	for w := 0; w < m.Words(); w++ {
+		if !m.Defective(w) {
+			continue
+		}
+		var mask, value uint32
+		// At least one stuck bit; each additional bit with probability
+		// 1/4 (multi-bit defects from a single cell failure cluster are
+		// possible but uncommon).
+		for {
+			bit := uint32(1) << uint(rng.Intn(32))
+			mask |= bit
+			if rng.Intn(2) == 1 {
+				value |= bit
+			}
+			if rng.Float64() >= 0.25 {
+				break
+			}
+		}
+		a.stuck[w] = stuckBits{mask: mask, value: value, mode: drawMode(model, rng)}
+	}
+	return a
+}
+
+func drawMode(model *sram.Model, rng *rand.Rand) sram.FailureMode {
+	u := rng.Float64()
+	acc := 0.0
+	modes := sram.Modes()
+	for _, m := range modes {
+		acc += model.ModeShare(m)
+		if u < acc {
+			return m
+		}
+	}
+	return modes[len(modes)-1]
+}
+
+// Words returns the array size in words.
+func (a *Array) Words() int { return len(a.data) }
+
+// Write stores v into word w, subject to the word's defects.
+func (a *Array) Write(w int, v uint32) {
+	w = a.resolve(w)
+	s := a.stuck[w]
+	a.data[w] = (v &^ s.mask) | (s.value & s.mask)
+}
+
+// Read returns the content of word w, subject to the word's defects.
+func (a *Array) Read(w int) uint32 {
+	w = a.resolve(w)
+	s := a.stuck[w]
+	return (a.data[w] &^ s.mask) | (s.value & s.mask)
+}
+
+// FailureMode returns the failure mode of word w, valid only for words
+// that BIST reports defective.
+func (a *Array) FailureMode(w int) sram.FailureMode { return a.stuck[w].mode }
+
+// RunBIST runs a march-style self test over the array and returns the
+// discovered fault map. The test writes complementary checkerboard
+// patterns (0xAAAAAAAA then 0x55555555) so that every bit is exercised at
+// both polarities; any stuck bit disagrees with at least one read-back.
+// This mirrors the paper's BIST pass executed at each DVFS operating
+// point ([4], [23]).
+func RunBIST(a *Array) *Map {
+	const (
+		pat0 = 0xAAAAAAAA
+		pat1 = 0x55555555
+	)
+	m := New(a.Words())
+	// March element 1: ascending write pat0, read pat0.
+	for w := 0; w < a.Words(); w++ {
+		a.Write(w, pat0)
+	}
+	for w := 0; w < a.Words(); w++ {
+		if a.Read(w) != pat0 {
+			m.SetDefective(w, true)
+		}
+	}
+	// March element 2: descending write pat1, read pat1.
+	for w := a.Words() - 1; w >= 0; w-- {
+		a.Write(w, pat1)
+	}
+	for w := a.Words() - 1; w >= 0; w-- {
+		if a.Read(w) != pat1 {
+			m.SetDefective(w, true)
+		}
+	}
+	return m
+}

@@ -1,0 +1,90 @@
+package faultmap
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sram"
+)
+
+func TestBISTRecoversFaultMap(t *testing.T) {
+	model := sram.NewModel()
+	for _, seed := range []int64{1, 2, 3} {
+		rng := rand.New(rand.NewSource(seed))
+		want := Generate(2048, 1e-2, rng)
+		arr := NewArray(want, model, rng)
+		got := RunBIST(arr)
+		if !got.Equal(want) {
+			t.Errorf("seed %d: BIST map differs from injected map (got %d defects, want %d)",
+				seed, got.CountDefective(), want.CountDefective())
+		}
+	}
+}
+
+func TestBISTOnFaultFreeArray(t *testing.T) {
+	model := sram.NewModel()
+	rng := rand.New(rand.NewSource(1))
+	arr := NewArray(New(256), model, rng)
+	if got := RunBIST(arr); got.CountDefective() != 0 {
+		t.Errorf("BIST found %d defects in a fault-free array", got.CountDefective())
+	}
+}
+
+func TestArrayReadWriteFaultFree(t *testing.T) {
+	model := sram.NewModel()
+	arr := NewArray(New(16), model, rand.New(rand.NewSource(1)))
+	arr.Write(3, 0xDEADBEEF)
+	if got := arr.Read(3); got != 0xDEADBEEF {
+		t.Errorf("Read = %#x, want 0xDEADBEEF", got)
+	}
+}
+
+func TestArrayDefectiveWordCorrupts(t *testing.T) {
+	model := sram.NewModel()
+	m := New(4)
+	m.SetDefective(2, true)
+	arr := NewArray(m, model, rand.New(rand.NewSource(9)))
+	// A stuck bit must make at least one of the two complementary
+	// patterns read back wrong.
+	arr.Write(2, 0xAAAAAAAA)
+	a := arr.Read(2) != 0xAAAAAAAA
+	arr.Write(2, 0x55555555)
+	b := arr.Read(2) != 0x55555555
+	if !a && !b {
+		t.Error("defective word read back both patterns correctly")
+	}
+}
+
+func TestArrayFailureModesAssigned(t *testing.T) {
+	model := sram.NewModel()
+	m := Generate(4096, 1e-2, rand.New(rand.NewSource(4)))
+	arr := NewArray(m, model, rand.New(rand.NewSource(5)))
+	seen := map[sram.FailureMode]int{}
+	for w := 0; w < m.Words(); w++ {
+		if m.Defective(w) {
+			seen[arr.FailureMode(w)]++
+		}
+	}
+	// With ~1100 defective words, every mode (smallest share 5%) should
+	// appear.
+	for _, mode := range sram.Modes() {
+		if seen[mode] == 0 {
+			t.Errorf("failure mode %v never assigned", mode)
+		}
+	}
+	// Read failures (45%) should dominate hold failures (5%).
+	if seen[sram.ReadFailure] <= seen[sram.HoldFailure] {
+		t.Errorf("mode distribution off: read=%d hold=%d", seen[sram.ReadFailure], seen[sram.HoldFailure])
+	}
+}
+
+func TestBISTDeterministicForSameArray(t *testing.T) {
+	model := sram.NewModel()
+	m := Generate(512, 1e-2, rand.New(rand.NewSource(11)))
+	arr := NewArray(m, model, rand.New(rand.NewSource(12)))
+	a := RunBIST(arr)
+	b := RunBIST(arr)
+	if !a.Equal(b) {
+		t.Error("BIST must be repeatable on the same array")
+	}
+}

@@ -1,0 +1,71 @@
+package faultmap
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Compressed serialization. The system stores one fault map per cache per
+// DVFS operating point in off-chip storage (Section IV); at moderate
+// voltages the maps are extremely sparse (26 defective words of 8192 at
+// 560 mV), so run-length coding the gaps between defective words shrinks
+// them by an order of magnitude. Format:
+//
+//	magic "FMPZ" | version uint16 | reserved uint16 | words uint32 |
+//	count uint32 | varint gap... (gap = distance from the previous
+//	defective word minus 1; first gap is the first defective index)
+var magicZ = [4]byte{'F', 'M', 'P', 'Z'}
+
+// MarshalCompressed returns the run-length-coded form of the map.
+func (m *Map) MarshalCompressed() ([]byte, error) {
+	buf := make([]byte, 0, 16)
+	buf = append(buf, magicZ[:]...)
+	buf = binary.LittleEndian.AppendUint16(buf, formatVersion)
+	buf = binary.LittleEndian.AppendUint16(buf, 0)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.words))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.CountDefective()))
+	prev := -1
+	for w := 0; w < m.words; w++ {
+		if !m.Defective(w) {
+			continue
+		}
+		buf = binary.AppendUvarint(buf, uint64(w-prev-1))
+		prev = w
+	}
+	return buf, nil
+}
+
+// UnmarshalCompressed decodes MarshalCompressed's format.
+func (m *Map) UnmarshalCompressed(data []byte) error {
+	if len(data) < 16 || string(data[:4]) != string(magicZ[:]) {
+		return ErrBadFormat
+	}
+	if v := binary.LittleEndian.Uint16(data[4:6]); v != formatVersion {
+		return fmt.Errorf("%w: unsupported version %d", ErrBadFormat, v)
+	}
+	words := int(binary.LittleEndian.Uint32(data[8:12]))
+	count := int(binary.LittleEndian.Uint32(data[12:16]))
+	if words <= 0 || count < 0 || count > words {
+		return fmt.Errorf("%w: implausible geometry (%d words, %d defects)", ErrBadFormat, words, count)
+	}
+	out := New(words)
+	rest := data[16:]
+	pos := -1
+	for i := 0; i < count; i++ {
+		gap, n := binary.Uvarint(rest)
+		if n <= 0 {
+			return fmt.Errorf("%w: truncated gap stream at defect %d", ErrBadFormat, i)
+		}
+		rest = rest[n:]
+		pos += int(gap) + 1
+		if pos >= words {
+			return fmt.Errorf("%w: defect %d beyond word count", ErrBadFormat, i)
+		}
+		out.SetDefective(pos, true)
+	}
+	if len(rest) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadFormat, len(rest))
+	}
+	*m = *out
+	return nil
+}

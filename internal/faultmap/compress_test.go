@@ -1,0 +1,97 @@
+package faultmap
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCompressedRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, p := range []float64{0, 1e-4, 1e-3, 1e-2, 0.5, 1} {
+		m := Generate(8192, p, rng)
+		data, err := m.MarshalCompressed()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Map
+		if err := got.UnmarshalCompressed(data); err != nil {
+			t.Fatalf("p=%v: %v", p, err)
+		}
+		if !got.Equal(m) {
+			t.Errorf("p=%v: round trip mismatch", p)
+		}
+	}
+}
+
+func TestCompressedBeatsRawWhenSparse(t *testing.T) {
+	// The whole point: 560 mV maps (26 defects of 8192 words) should be
+	// far smaller compressed than the 1 KB raw bitset.
+	rng := rand.New(rand.NewSource(2))
+	m := Generate(8192, 1e-4, rng)
+	raw, _ := m.MarshalBinary()
+	z, _ := m.MarshalCompressed()
+	if len(z) >= len(raw)/4 {
+		t.Errorf("compressed %d bytes vs raw %d: want >=4x shrink for sparse maps", len(z), len(raw))
+	}
+}
+
+func TestCompressedDenseStillCorrect(t *testing.T) {
+	// At 400 mV (27.5% defective) compression may not win, but must stay
+	// correct.
+	rng := rand.New(rand.NewSource(3))
+	m := Generate(8192, 1e-2, rng)
+	z, _ := m.MarshalCompressed()
+	var got Map
+	if err := got.UnmarshalCompressed(z); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Error("dense round trip mismatch")
+	}
+}
+
+func TestUnmarshalCompressedRejectsGarbage(t *testing.T) {
+	good, _ := New(64).MarshalCompressed()
+	cases := map[string][]byte{
+		"empty":     {},
+		"short":     good[:8],
+		"bad magic": append([]byte("XXXX"), good[4:]...),
+		"bad count": {'F', 'M', 'P', 'Z', 1, 0, 0, 0, 8, 0, 0, 0, 99, 0, 0, 0},
+		"trailing":  append(append([]byte{}, good...), 0xFF),
+	}
+	// A gap running past the word count must also fail.
+	m := New(8)
+	m.SetDefective(7, true)
+	z, _ := m.MarshalCompressed()
+	z[len(z)-1] = 200 // gap far beyond 8 words
+	cases["overrun"] = z
+
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			var got Map
+			if err := got.UnmarshalCompressed(data); err == nil {
+				t.Error("expected error")
+			}
+		})
+	}
+}
+
+func TestCompressedPropertyRoundTrip(t *testing.T) {
+	f := func(seed int64, pRaw uint8) bool {
+		p := float64(pRaw%100) / 120
+		m := Generate(777, p, rand.New(rand.NewSource(seed)))
+		z, err := m.MarshalCompressed()
+		if err != nil {
+			return false
+		}
+		var got Map
+		if err := got.UnmarshalCompressed(z); err != nil {
+			return false
+		}
+		return got.Equal(m)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

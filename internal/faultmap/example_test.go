@@ -1,0 +1,67 @@
+package faultmap_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/faultmap"
+	"repro/internal/sram"
+)
+
+// Fault-free chunks are the unit BBR allocates basic blocks into.
+func ExampleMap_Chunks() {
+	m := faultmap.New(12)
+	m.SetDefective(3, true)
+	m.SetDefective(7, true)
+	for _, c := range m.Chunks() {
+		fmt.Printf("chunk at %d, %d words\n", c.Start, c.Len)
+	}
+	// Output:
+	// chunk at 0, 3 words
+	// chunk at 4, 3 words
+	// chunk at 8, 4 words
+}
+
+// Sparse maps compress well: the off-chip copy of a 560 mV map is a few
+// dozen bytes instead of a kilobyte.
+func ExampleMap_MarshalCompressed() {
+	m := faultmap.New(8192)
+	m.SetDefective(100, true)
+	m.SetDefective(4000, true)
+	raw, _ := m.MarshalBinary()
+	z, _ := m.MarshalCompressed()
+	fmt.Printf("raw %d bytes, compressed %d bytes\n", len(raw), len(z))
+
+	var back faultmap.Map
+	if err := back.UnmarshalCompressed(z); err != nil {
+		panic(err)
+	}
+	fmt.Printf("round trip equal: %v\n", back.Equal(m))
+	// Output:
+	// raw 1036 bytes, compressed 19 bytes
+	// round trip equal: true
+}
+
+// March C- discovers the injected defects exactly, including the word's
+// failure classification.
+func ExampleMarchCMinus() {
+	truth := faultmap.New(64)
+	truth.SetDefective(9, true)
+	arr := faultmap.NewArray(truth, sram.NewModel(), rand.New(rand.NewSource(1)))
+	res := faultmap.MarchCMinus(arr)
+	fmt.Printf("found %d defect(s); word 9 defective: %v\n",
+		res.Map.CountDefective(), res.Map.Defective(9))
+	// Output:
+	// found 1 defect(s); word 9 defective: true
+}
+
+// Voltage-nested series: one die's maps at different operating points are
+// consistent — scaling deeper only adds defects.
+func ExampleSeries() {
+	s := faultmap.NewSeries(8192, rand.New(rand.NewSource(7)))
+	at560 := s.MapAt(1e-4)
+	at400 := s.MapAt(1e-2)
+	fmt.Printf("560mV defects ⊆ 400mV defects: %v\n", at400.Subsumes(at560))
+	// Output:
+	// 560mV defects ⊆ 400mV defects: true
+}

@@ -1,0 +1,62 @@
+package faultmap
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// Fuzz targets for the two deserializers: arbitrary bytes must never
+// panic, and any input that decodes must re-encode to an equivalent map.
+// Run with `go test -fuzz=FuzzUnmarshalBinary` for a real campaign; under
+// plain `go test` the seed corpus below runs as regression cases.
+
+func FuzzUnmarshalBinary(f *testing.F) {
+	good, _ := Generate(200, 0.1, rand.New(rand.NewSource(1))).MarshalBinary()
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte("FMAP"))
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m Map
+		if err := m.UnmarshalBinary(data); err != nil {
+			return
+		}
+		out, err := m.MarshalBinary()
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		var round Map
+		if err := round.UnmarshalBinary(out); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !round.Equal(&m) {
+			t.Fatal("decode/encode/decode not idempotent")
+		}
+	})
+}
+
+func FuzzUnmarshalCompressed(f *testing.F) {
+	good, _ := Generate(200, 0.1, rand.New(rand.NewSource(2))).MarshalCompressed()
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte("FMPZ"))
+	f.Add(bytes.Repeat([]byte{0x80}, 40)) // pathological varints
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var m Map
+		if err := m.UnmarshalCompressed(data); err != nil {
+			return
+		}
+		out, err := m.MarshalCompressed()
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		var round Map
+		if err := round.UnmarshalCompressed(out); err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !round.Equal(&m) {
+			t.Fatal("decode/encode/decode not idempotent")
+		}
+	})
+}

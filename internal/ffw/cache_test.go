@@ -1,0 +1,343 @@
+package ffw
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/faultmap"
+)
+
+func newTestCache(t *testing.T, fm *faultmap.Map, opts Options) (*Cache, *core.NextLevel) {
+	t.Helper()
+	next := core.NewNextLevel(100)
+	c, err := New(fm, next, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, next
+}
+
+func faultFreeMap() *faultmap.Map { return faultmap.New(32 * 1024 / 4) }
+
+func TestNewValidatesGeometry(t *testing.T) {
+	next := core.NewNextLevel(10)
+	if _, err := New(faultmap.New(100), next, Options{}); err == nil {
+		t.Error("mismatched fault map size must be rejected")
+	}
+	if _, err := New(faultFreeMap(), nil, Options{}); err == nil {
+		t.Error("nil next level must be rejected")
+	}
+}
+
+func TestFaultFreeBehavesLikeNormalCache(t *testing.T) {
+	c, _ := newTestCache(t, faultFreeMap(), Options{})
+	if out := c.Read(0x100); out.Hit {
+		t.Error("cold read should miss")
+	}
+	// With no defects the window is the whole block: every word hits.
+	for w := 0; w < 8; w++ {
+		if out := c.Read(0x100 + uint64(4*w)); !out.Hit {
+			t.Errorf("word %d should hit in a fault-free frame", w)
+		}
+	}
+	if got := c.Stats().ReadHits; got != 8 {
+		t.Errorf("ReadHits = %d, want 8", got)
+	}
+}
+
+func TestZeroLatencyOverhead(t *testing.T) {
+	c, _ := newTestCache(t, faultFreeMap(), Options{})
+	if c.HitLatency() != 2 {
+		t.Errorf("HitLatency = %d, want 2 (zero overhead over the baseline)", c.HitLatency())
+	}
+}
+
+// defectiveFrameMap marks the given word entries of physical frame 0
+// (set 0, way 0) defective.
+func defectiveFrameMap(entries ...int) *faultmap.Map {
+	fm := faultFreeMap()
+	for _, e := range entries {
+		fm.SetDefective(e, true)
+	}
+	return fm
+}
+
+func TestWindowCapturesLikelyAccesses(t *testing.T) {
+	// Frame 0 has 3 defective entries -> k = 5. A read of word 4 centers
+	// the window on words 2..6.
+	fm := defectiveFrameMap(1, 3, 5)
+	c, _ := newTestCache(t, fm, Options{})
+	addr := uint64(0x10) // block 0, word 4
+	c.Read(addr)
+	if got := c.StoredPattern(0, 0); got != 0b01111100 {
+		t.Fatalf("stored pattern = %08b, want 01111100", got)
+	}
+	// Words 2..6 hit; words 0,1,7 miss. Use a fresh cache per probe since
+	// any window miss moves the window.
+	hits := map[int]bool{2: true, 3: true, 4: true, 5: true, 6: true}
+	for w := 0; w < 8; w++ {
+		probe, _ := newTestCache(t, fm, Options{})
+		probe.Read(addr) // establish window 2..6
+		out := probe.Read(uint64(4 * w))
+		if out.Hit != hits[w] {
+			t.Errorf("word %d: hit=%v, want %v", w, out.Hit, hits[w])
+		}
+	}
+}
+
+func TestWindowRecentersOnMiss(t *testing.T) {
+	// The Figure 5 sequence: default window, then a miss on word 5 moves
+	// the window toward it with the missing word centered.
+	fm := defectiveFrameMap(0, 6, 7) // k = 5
+	c, _ := newTestCache(t, fm, Options{})
+	c.Read(0x00) // request word 0: window clamps to words 0..4
+	if got := c.StoredPattern(0, 0); got != 0b00011111 {
+		t.Fatalf("initial pattern = %08b, want 00011111", got)
+	}
+	out := c.Read(0x14) // word 5: outside -> window miss
+	if out.Hit {
+		t.Fatal("word 5 should miss")
+	}
+	if c.Stats().WindowMiss != 1 {
+		t.Fatalf("WindowMiss = %d, want 1", c.Stats().WindowMiss)
+	}
+	// New window centered on 5: start = 5-2 = 3, words 3..7.
+	if got := c.StoredPattern(0, 0); got != 0b11111000 {
+		t.Fatalf("recentered pattern = %08b, want 11111000", got)
+	}
+	if out := c.Read(0x14); !out.Hit {
+		t.Error("word 5 should hit after recentering")
+	}
+}
+
+func TestWindowMissCountsAsL2Access(t *testing.T) {
+	fm := defectiveFrameMap(0, 1, 2, 3) // k = 4
+	c, next := newTestCache(t, fm, Options{})
+	c.Read(0x00) // tag miss: 1 L2 read
+	c.Read(0x1C) // word 7 outside window [words 0..? centered on 0 -> 0..3]: window miss
+	if got := next.DemandReads(); got != 2 {
+		t.Errorf("L2 demand reads = %d, want 2", got)
+	}
+}
+
+func TestFullyDefectiveWayIsDisabled(t *testing.T) {
+	// All 8 entries of frame (0,0..3) defective: set 0 has no usable way.
+	fm := faultFreeMap()
+	for e := 0; e < 32; e++ { // frames 0..3 = set 0's four ways
+		fm.SetDefective(e, true)
+	}
+	c, _ := newTestCache(t, fm, Options{})
+	out := c.Read(0x00)
+	if out.Hit {
+		t.Error("read in a disabled set cannot hit")
+	}
+	if c.Stats().Disabled != 1 {
+		t.Errorf("Disabled = %d, want 1", c.Stats().Disabled)
+	}
+	// Still correct: repeated reads keep missing but are served.
+	out = c.Read(0x00)
+	if out.Hit || out.L2Reads != 1 {
+		t.Errorf("second read outcome = %+v", out)
+	}
+}
+
+func TestVictimSkipsDisabledWays(t *testing.T) {
+	// Way 0 of set 0 fully defective, other ways clean: fills must land in
+	// usable ways and subsequent reads hit.
+	fm := faultFreeMap()
+	for e := 0; e < 8; e++ {
+		fm.SetDefective(e, true)
+	}
+	c, _ := newTestCache(t, fm, Options{})
+	c.Read(0x00)
+	if out := c.Read(0x00); !out.Hit {
+		t.Error("fill must land in a usable way")
+	}
+}
+
+func TestWriteThrough(t *testing.T) {
+	c, next := newTestCache(t, faultFreeMap(), Options{})
+	out := c.Write(0x40)
+	if out.Hit {
+		t.Error("write to absent block should not hit")
+	}
+	if out.L2Reads != 0 {
+		t.Error("write must not issue demand reads")
+	}
+	if next.WordWrites() != 1 {
+		t.Errorf("WordWrites = %d, want 1", next.WordWrites())
+	}
+	// After a read fill, a write to a stored word hits.
+	c.Read(0x40)
+	if out := c.Write(0x40); !out.Hit {
+		t.Error("write to stored word should hit")
+	}
+	if c.Stats().WriteHits != 1 {
+		t.Errorf("WriteHits = %d", c.Stats().WriteHits)
+	}
+}
+
+func TestLRUAcrossWays(t *testing.T) {
+	c, _ := newTestCache(t, faultFreeMap(), Options{})
+	// Four blocks in set 0 fill all ways; a fifth evicts the LRU (first).
+	base := uint64(32 * 256) // set stride in bytes: 256 sets * 32B
+	for i := uint64(0); i < 4; i++ {
+		c.Read(i * base)
+	}
+	c.Read(0) // touch block 0: now MRU
+	c.Read(4 * base)
+	if out := c.Read(0); !out.Hit {
+		t.Error("MRU block was evicted")
+	}
+	if out := c.Read(1 * base); out.Hit {
+		t.Error("LRU block should have been evicted")
+	}
+}
+
+func TestEndToEndDataThroughRemap(t *testing.T) {
+	// With defects in the frame, reads must return the correct
+	// architected value through the remap datapath.
+	rng := rand.New(rand.NewSource(42))
+	fm := faultmap.Generate(8192, 1e-2, rng)
+	c, _ := newTestCache(t, fm, Options{TrackData: true})
+	for i := 0; i < 20000; i++ {
+		addr := uint64(rng.Intn(64*1024)) &^ 3
+		_, got := c.ReadWord(addr)
+		want := DefaultBacking(cache.WordAddr(addr))
+		if got != want {
+			t.Fatalf("ReadWord(%#x) = %#x, want %#x (remap corrupted data)", addr, got, want)
+		}
+	}
+}
+
+func TestEndToEndWriteReadBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	fm := faultmap.Generate(8192, 1e-2, rng)
+	c, _ := newTestCache(t, fm, Options{TrackData: true})
+	written := map[uint64]uint32{}
+	for i := 0; i < 5000; i++ {
+		addr := uint64(rng.Intn(32*1024)) &^ 3
+		if rng.Intn(2) == 0 {
+			v := rng.Uint32()
+			c.WriteWord(addr, v)
+			written[addr] = v
+			continue
+		}
+		_, got := c.ReadWord(addr)
+		want, ok := written[addr]
+		if !ok {
+			want = DefaultBacking(cache.WordAddr(addr))
+		}
+		if got != want {
+			t.Fatalf("ReadWord(%#x) = %#x, want %#x after %d ops", addr, got, want, i)
+		}
+	}
+}
+
+func TestDataNeverStoredInDefectiveEntries(t *testing.T) {
+	// Structural invariant: remap never selects a defective entry, so the
+	// physical entries marked defective keep their zero value even under
+	// heavy traffic.
+	rng := rand.New(rand.NewSource(44))
+	fm := faultmap.Generate(8192, 1e-2, rng)
+	c, _ := newTestCache(t, fm, Options{TrackData: true})
+	for i := 0; i < 30000; i++ {
+		c.ReadWord(uint64(rng.Intn(256*1024)) &^ 3)
+	}
+	for w := 0; w < 8192; w++ {
+		if fm.Defective(w) && c.data[w] != 0 {
+			t.Fatalf("defective physical word %d was written (value %#x)", w, c.data[w])
+		}
+	}
+}
+
+func TestReadWordRequiresTrackData(t *testing.T) {
+	c, _ := newTestCache(t, faultFreeMap(), Options{})
+	defer func() {
+		if recover() == nil {
+			t.Error("ReadWord without TrackData should panic")
+		}
+	}()
+	c.ReadWord(0)
+}
+
+func TestHighReuseWorkloadHitsDespiteDefects(t *testing.T) {
+	// The paper's motivating case: low spatial locality + high reuse means
+	// a partial window serves nearly all accesses. Touch 3 words of each
+	// block repeatedly under 27.5% word defects.
+	rng := rand.New(rand.NewSource(45))
+	fm := faultmap.Generate(8192, 1e-2, rng)
+	c, _ := newTestCache(t, fm, Options{})
+	for rep := 0; rep < 50; rep++ {
+		for b := uint64(0); b < 64; b++ {
+			base := b * 32
+			for _, w := range []uint64{2, 3, 4} {
+				c.Read(base + 4*w)
+			}
+		}
+	}
+	st := c.Stats()
+	hitRate := float64(st.ReadHits) / float64(st.Reads)
+	if hitRate < 0.95 {
+		t.Errorf("hit rate %.3f under high-reuse narrow-window workload, want >= 0.95", hitRate)
+	}
+}
+
+func TestName(t *testing.T) {
+	c, _ := newTestCache(t, faultFreeMap(), Options{})
+	if c.Name() != "FFW" {
+		t.Errorf("Name = %q", c.Name())
+	}
+}
+
+func TestScatterConvergesOnNonContiguousSet(t *testing.T) {
+	// The scatter extension's selling point: a block whose hot words are
+	// NOT contiguous (say words 0, 3 and 7) converges to zero misses,
+	// where the contiguous window with k < 8 ping-pongs forever.
+	fm := defectiveFrameMap(1, 2, 5) // k = 5 in frame (0,0)
+	hot := []uint64{0 * 4, 3 * 4, 7 * 4}
+
+	run := func(scatter bool) uint64 {
+		c, _ := newTestCache(t, fm, Options{Scatter: scatter})
+		for i := 0; i < 300; i++ {
+			c.Read(hot[i%len(hot)])
+		}
+		return c.Stats().WindowMiss
+	}
+	contiguous := run(false)
+	scatter := run(true)
+	if scatter > 3 {
+		t.Errorf("scatter policy should converge (got %d window misses)", scatter)
+	}
+	if contiguous <= scatter {
+		t.Errorf("contiguous window (%d misses) should ping-pong vs scatter (%d)", contiguous, scatter)
+	}
+}
+
+func TestScatterDataIntegrity(t *testing.T) {
+	// End-to-end data correctness must hold for non-contiguous patterns
+	// too (the rank-based remap works for arbitrary masks).
+	rng := rand.New(rand.NewSource(77))
+	fm := faultmap.Generate(8192, 1e-2, rng)
+	c, _ := newTestCache(t, fm, Options{Scatter: true, TrackData: true})
+	for i := 0; i < 30000; i++ {
+		addr := uint64(rng.Intn(64*1024)) &^ 3
+		_, got := c.ReadWord(addr)
+		want := DefaultBacking(cache.WordAddr(addr))
+		if got != want {
+			t.Fatalf("ReadWord(%#x) = %#x, want %#x under scatter", addr, got, want)
+		}
+	}
+}
+
+func TestScatterKeepsDemandWordStored(t *testing.T) {
+	fm := defectiveFrameMap(0, 1, 2, 3) // k = 4
+	c, _ := newTestCache(t, fm, Options{Scatter: true})
+	c.Read(0x00) // fill; window covers ~words 0..3
+	c.Read(0x1C) // word 7: miss, swaps in
+	if out := c.Read(0x1C); !out.Hit {
+		t.Error("swapped-in word must hit immediately after")
+	}
+}

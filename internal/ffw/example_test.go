@@ -1,0 +1,28 @@
+package ffw_test
+
+import (
+	"fmt"
+
+	"repro/internal/ffw"
+)
+
+// The paper's Figure 4 worked example: the window holds logical words
+// 2..6 (stored pattern 01111100); word offset 0x3 is the second stored
+// word and lives in the frame's second fault-free entry.
+func ExampleRemap() {
+	stored := uint8(0b01111100) // logical words 2..6 present
+	fault := uint8(0b10100100)  // physical entries 2, 5, 7 defective
+	entry := ffw.Remap(stored, fault, 0x3)
+	fmt.Printf("logical word 0x3 -> physical entry %#x\n", entry)
+	// Output:
+	// logical word 0x3 -> physical entry 0x1
+}
+
+// Window placement: five fault-free entries, demand miss on word 5 — the
+// missing word stands in the middle of the new window (Figure 5).
+func ExampleWindow() {
+	pattern := ffw.Window(5, 5, ffw.PlacementCentered)
+	fmt.Printf("stored pattern %08b\n", pattern)
+	// Output:
+	// stored pattern 11111000
+}

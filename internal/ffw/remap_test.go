@@ -1,0 +1,239 @@
+package ffw
+
+import (
+	"math/bits"
+	"testing"
+	"testing/quick"
+)
+
+func TestRank(t *testing.T) {
+	// stored 0b01111100: words 2..6.
+	stored := uint8(0b01111100)
+	tests := []struct{ w, want int }{{2, 0}, {3, 1}, {4, 2}, {6, 4}}
+	for _, tt := range tests {
+		if got := Rank(stored, tt.w); got != tt.want {
+			t.Errorf("Rank(%08b, %d) = %d, want %d", stored, tt.w, got, tt.want)
+		}
+	}
+}
+
+func TestNthFaultFree(t *testing.T) {
+	// fault 0b10100100: defective entries 2, 5, 7; fault-free 0,1,3,4,6.
+	fault := uint8(0b10100100)
+	want := []int{0, 1, 3, 4, 6}
+	for n, e := range want {
+		if got := NthFaultFree(fault, n); got != e {
+			t.Errorf("NthFaultFree(%08b, %d) = %d, want %d", fault, n, got, e)
+		}
+	}
+	if got := NthFaultFree(fault, 5); got != -1 {
+		t.Errorf("NthFaultFree beyond capacity = %d, want -1", got)
+	}
+	if got := NthFaultFree(0xFF, 0); got != -1 {
+		t.Errorf("NthFaultFree of all-defective = %d, want -1", got)
+	}
+}
+
+func TestRemapPaperExample(t *testing.T) {
+	// Figure 4's worked example: stored pattern 01111100 means the window
+	// holds logical words 2..6. Word offset 0x3 is the second word of the
+	// window and must map to the second fault-free physical entry, 0x1.
+	stored := uint8(0b01111100)
+	fault := uint8(0b10100100) // entries 0,1 fault-free first; k=5 matches the window
+	if got := Remap(stored, fault, 0x3); got != 0x1 {
+		t.Errorf("Remap = %#x, want 0x1 (paper's Figure 4 example)", got)
+	}
+}
+
+func TestRemapOutsideWindow(t *testing.T) {
+	stored := uint8(0b01111100)
+	for _, w := range []int{0, 1, 7, -1, 8} {
+		if got := Remap(stored, 0, w); got != -1 {
+			t.Errorf("Remap(word %d outside window) = %d, want -1", w, got)
+		}
+	}
+}
+
+func TestRemapInjectiveProperty(t *testing.T) {
+	// For any consistent (stored, fault) pair — window size equal to the
+	// number of fault-free entries — Remap is an injection from stored
+	// words onto fault-free entries.
+	f := func(faultRaw uint8, reqRaw uint8) bool {
+		fault := faultRaw
+		k := FaultFreeEntries(fault)
+		stored := Window(k, int(reqRaw%8), PlacementCentered)
+		if k == 0 {
+			return stored == 0
+		}
+		seen := make(map[int]bool)
+		for w := 0; w < WordsPerBlock; w++ {
+			if stored&(1<<uint(w)) == 0 {
+				continue
+			}
+			e := Remap(stored, fault, w)
+			if e < 0 || e >= WordsPerBlock {
+				return false
+			}
+			if fault&(1<<uint(e)) != 0 { // mapped onto a defective entry
+				return false
+			}
+			if seen[e] { // collision
+				return false
+			}
+			seen[e] = true
+		}
+		return len(seen) == bits.OnesCount8(stored)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRemapOrderPreservingProperty(t *testing.T) {
+	// Words earlier in the window land in earlier physical entries
+	// (rank-to-rank mapping is monotone).
+	f := func(fault uint8, reqRaw uint8) bool {
+		k := FaultFreeEntries(fault)
+		stored := Window(k, int(reqRaw%8), PlacementCentered)
+		prev := -1
+		for w := 0; w < WordsPerBlock; w++ {
+			if stored&(1<<uint(w)) == 0 {
+				continue
+			}
+			e := Remap(stored, fault, w)
+			if e <= prev {
+				return false
+			}
+			prev = e
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWindowCentered(t *testing.T) {
+	tests := []struct {
+		k, req int
+		want   uint8
+	}{
+		{8, 3, 0xFF},
+		{9, 0, 0xFF}, // clamped
+		{0, 3, 0},
+		{-1, 3, 0},
+		{5, 4, 0b01111100}, // start = 4-2 = 2: words 2..6
+		{5, 0, 0b00011111}, // clamped low: words 0..4
+		{5, 7, 0b11111000}, // clamped high: words 3..7
+		{1, 6, 0b01000000}, // window is exactly the word
+		{4, 5, 0b01111000}, // start = 5-2 = 3: words 3..6
+	}
+	for _, tt := range tests {
+		if got := Window(tt.k, tt.req, PlacementCentered); got != tt.want {
+			t.Errorf("Window(%d, %d, centered) = %08b, want %08b", tt.k, tt.req, got, tt.want)
+		}
+	}
+}
+
+func TestWindowFirstK(t *testing.T) {
+	// Figure 5's default pattern: first k words — when they cover the
+	// request.
+	if got := Window(5, 2, PlacementFirstK); got != 0b00011111 {
+		t.Errorf("Window(5, 2, first-k) = %08b, want 00011111", got)
+	}
+	// Request outside the first k falls back to centered so the demand
+	// word is captured.
+	got := Window(5, 6, PlacementFirstK)
+	if got&(1<<6) == 0 {
+		t.Errorf("Window(5, 6, first-k) = %08b does not cover requested word", got)
+	}
+}
+
+func TestWindowAlwaysCoversRequestProperty(t *testing.T) {
+	f := func(kRaw, reqRaw uint8, first bool) bool {
+		k := int(kRaw%8) + 1 // 1..8
+		req := int(reqRaw % 8)
+		p := PlacementCentered
+		if first {
+			p = PlacementFirstK
+		}
+		w := Window(k, req, p)
+		if bits.OnesCount8(w) != k {
+			return false
+		}
+		// Window must be contiguous: w is a run of ones.
+		run := w >> uint(bits.TrailingZeros8(w))
+		if run&(run+1) != 0 {
+			return false
+		}
+		return w&(1<<uint(req)) != 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFaultFreeEntries(t *testing.T) {
+	tests := []struct {
+		fault uint8
+		want  int
+	}{{0, 8}, {0xFF, 0}, {0b10100100, 5}, {0b00000001, 7}}
+	for _, tt := range tests {
+		if got := FaultFreeEntries(tt.fault); got != tt.want {
+			t.Errorf("FaultFreeEntries(%08b) = %d, want %d", tt.fault, got, tt.want)
+		}
+	}
+}
+
+func TestPlacementString(t *testing.T) {
+	if PlacementCentered.String() != "centered" || PlacementFirstK.String() != "first-k" {
+		t.Error("WindowPlacement.String broken")
+	}
+	if WindowPlacement(9).String() != "WindowPlacement(9)" {
+		t.Error("unknown WindowPlacement.String broken")
+	}
+}
+
+func TestSwapLRU(t *testing.T) {
+	ages := func(vals ...uint64) *[WordsPerBlock]uint64 {
+		var a [WordsPerBlock]uint64
+		copy(a[:], vals)
+		return &a
+	}
+	// Stored {0..4}; word 2 is oldest -> evicted on a miss at 7.
+	if got := SwapLRU(0b00011111, 7, ages(5, 4, 1, 3, 2)); got != 0b10011011 {
+		t.Errorf("SwapLRU evicted wrong word: %08b", got)
+	}
+	// Already stored: unchanged.
+	if got := SwapLRU(0b00001111, 2, ages(1, 2, 3, 4)); got != 0b00001111 {
+		t.Errorf("SwapLRU changed a present word: %08b", got)
+	}
+	// Empty pattern: just the word.
+	if got := SwapLRU(0, 5, ages()); got != 0b00100000 {
+		t.Errorf("SwapLRU on empty = %08b", got)
+	}
+}
+
+func TestSwapLRUPreservesCountProperty(t *testing.T) {
+	f := func(stored uint8, wordRaw uint8, rawAges [8]uint8) bool {
+		word := int(wordRaw % 8)
+		var ages [WordsPerBlock]uint64
+		for i, a := range rawAges {
+			ages[i] = uint64(a)
+		}
+		got := SwapLRU(stored, word, &ages)
+		// The requested word is always present afterwards.
+		if got&(1<<uint(word)) == 0 {
+			return false
+		}
+		// Population never grows beyond max(1, popcount(stored)).
+		want := bits.OnesCount8(stored)
+		if want == 0 {
+			want = 1
+		}
+		return bits.OnesCount8(got) == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

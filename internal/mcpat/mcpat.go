@@ -1,0 +1,158 @@
+// Package mcpat is a small component-level processor power model in the
+// spirit of McPAT [33], standing in for the authors' McPAT runs. It
+// builds the paper's core (Table I: 2-way superscalar, ARM Cortex-A9
+// class) out of named components — fetch, decode, rename/issue, ALUs,
+// load/store queue, ROB, register files, branch predictor, the two L1s —
+// each with a per-access dynamic energy and a leakage power, and produces
+// the aggregate quantities the energy model needs: dynamic energy per
+// instruction, static power, and the L1 share of leakage.
+//
+// Like the cacti package, this is an analytic model with calibrated
+// constants rather than an extracted netlist: the constants are chosen so
+// the aggregate matches the energy model's calibration anchors (a
+// dynamic-dominated embedded core at 760 mV; see DESIGN.md anchor 5),
+// while the *structure* — which component costs what, per which event —
+// is explicit and testable. energy.DefaultModel's abstract constants can
+// be cross-checked against this model (see TestEnergyModelConsistency).
+package mcpat
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Component is one block of the core power breakdown.
+type Component struct {
+	Name string
+	// DynamicPJ is the energy of one access/event in picojoules at the
+	// reference voltage (760 mV).
+	DynamicPJ float64
+	// AccessesPerInstr is the average event count per instruction for the
+	// paper's workloads (fetch touches every instruction; the FP ALU
+	// almost none on integer-heavy embedded codes).
+	AccessesPerInstr float64
+	// LeakageMW is the component's leakage power in milliwatts at the
+	// reference voltage.
+	LeakageMW float64
+	// IsL1 marks the two L1 caches, whose leakage a fault-tolerance
+	// scheme scales by its Table III factor.
+	IsL1 bool
+}
+
+// Core is the full component list.
+type Core struct {
+	Components []Component
+}
+
+// DefaultCore returns the Table I configuration in 45 nm. Dynamic
+// energies and leakage are in the range published for Cortex-A9-class
+// cores (~0.5 nJ/instruction total at nominal voltage, leakage a few
+// percent of total power at the 760 mV reference).
+func DefaultCore() Core {
+	return Core{Components: []Component{
+		// Front end.
+		{Name: "fetch/L1I access", DynamicPJ: 64, AccessesPerInstr: 1.0, LeakageMW: 0, IsL1: false},
+		{Name: "L1I array", DynamicPJ: 0, AccessesPerInstr: 0, LeakageMW: 2.05, IsL1: true},
+		{Name: "branch predictor (BHT+BTB)", DynamicPJ: 9, AccessesPerInstr: 1.0, LeakageMW: 0.25},
+		{Name: "decode", DynamicPJ: 22, AccessesPerInstr: 1.0, LeakageMW: 0.35},
+		// Back end.
+		{Name: "rename/issue", DynamicPJ: 31, AccessesPerInstr: 1.0, LeakageMW: 0.7},
+		{Name: "ROB (128 entries)", DynamicPJ: 18, AccessesPerInstr: 1.0, LeakageMW: 0.55},
+		{Name: "INT regfile (128)", DynamicPJ: 24, AccessesPerInstr: 1.6, LeakageMW: 0.45},
+		{Name: "FP regfile (128)", DynamicPJ: 24, AccessesPerInstr: 0.12, LeakageMW: 0.45},
+		{Name: "INT ALUs (2)", DynamicPJ: 38, AccessesPerInstr: 0.62, LeakageMW: 0.5},
+		{Name: "INT multiplier", DynamicPJ: 92, AccessesPerInstr: 0.04, LeakageMW: 0.2},
+		{Name: "FP ALU+MULT", DynamicPJ: 110, AccessesPerInstr: 0.06, LeakageMW: 0.4},
+		// Memory pipeline.
+		{Name: "LSQ (64 entries)", DynamicPJ: 20, AccessesPerInstr: 0.37, LeakageMW: 0.3},
+		{Name: "L1D access", DynamicPJ: 68, AccessesPerInstr: 0.37, LeakageMW: 0, IsL1: false},
+		{Name: "L1D array", DynamicPJ: 0, AccessesPerInstr: 0, LeakageMW: 2.05, IsL1: true},
+		// Everything else: clock tree, bypass, pipeline registers.
+		{Name: "clock+bypass+misc", DynamicPJ: 55, AccessesPerInstr: 1.0, LeakageMW: 2.07},
+	}}
+}
+
+// DynamicEPIpJ returns the core+L1 dynamic energy per instruction at the
+// reference voltage, in picojoules.
+func (c Core) DynamicEPIpJ() float64 {
+	sum := 0.0
+	for _, comp := range c.Components {
+		sum += comp.DynamicPJ * comp.AccessesPerInstr
+	}
+	return sum
+}
+
+// LeakageMW returns total core+L1 leakage at the reference voltage.
+func (c Core) LeakageMW() float64 {
+	sum := 0.0
+	for _, comp := range c.Components {
+		sum += comp.LeakageMW
+	}
+	return sum
+}
+
+// L1LeakageShare returns the fraction of core leakage in the two L1
+// arrays — the share a scheme's Table III static factor applies to.
+func (c Core) L1LeakageShare() float64 {
+	total := c.LeakageMW()
+	if total == 0 {
+		return 0
+	}
+	l1 := 0.0
+	for _, comp := range c.Components {
+		if comp.IsL1 {
+			l1 += comp.LeakageMW
+		}
+	}
+	return l1 / total
+}
+
+// StaticSharePerRefCycle converts leakage into the energy model's units:
+// leakage energy per reference-frequency cycle, as a fraction of the
+// dynamic energy per instruction. Dimensionally, mW divided by MHz is
+// nanojoules per cycle, i.e. 1000 pJ per cycle.
+func (c Core) StaticSharePerRefCycle(refFreqMHz float64) float64 {
+	leakPJPerCycle := c.LeakageMW() / refFreqMHz * 1000
+	return leakPJPerCycle / c.DynamicEPIpJ()
+}
+
+// Breakdown returns the per-component shares of dynamic EPI, largest
+// first — the McPAT-style pie chart.
+type Share struct {
+	Name  string
+	Share float64
+}
+
+// DynamicBreakdown lists each component's share of the dynamic EPI.
+func (c Core) DynamicBreakdown() []Share {
+	total := c.DynamicEPIpJ()
+	var out []Share
+	for _, comp := range c.Components {
+		e := comp.DynamicPJ * comp.AccessesPerInstr
+		if e == 0 {
+			continue
+		}
+		out = append(out, Share{Name: comp.Name, Share: e / total})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Share > out[j].Share })
+	return out
+}
+
+// Validate sanity-checks the component list.
+func (c Core) Validate() error {
+	if len(c.Components) == 0 {
+		return fmt.Errorf("mcpat: empty core")
+	}
+	for _, comp := range c.Components {
+		if comp.Name == "" {
+			return fmt.Errorf("mcpat: unnamed component")
+		}
+		if comp.DynamicPJ < 0 || comp.AccessesPerInstr < 0 || comp.LeakageMW < 0 {
+			return fmt.Errorf("mcpat: %s has negative parameters", comp.Name)
+		}
+	}
+	if c.DynamicEPIpJ() <= 0 {
+		return fmt.Errorf("mcpat: zero dynamic energy")
+	}
+	return nil
+}

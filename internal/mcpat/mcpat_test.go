@@ -1,0 +1,96 @@
+package mcpat
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dvfs"
+	"repro/internal/energy"
+)
+
+func TestDefaultCoreValidates(t *testing.T) {
+	if err := DefaultCore().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	if err := (Core{}).Validate(); err == nil {
+		t.Error("empty core must fail")
+	}
+	if err := (Core{Components: []Component{{Name: "", DynamicPJ: 1}}}).Validate(); err == nil {
+		t.Error("unnamed component must fail")
+	}
+	if err := (Core{Components: []Component{{Name: "x", DynamicPJ: -1}}}).Validate(); err == nil {
+		t.Error("negative energy must fail")
+	}
+	if err := (Core{Components: []Component{{Name: "x"}}}).Validate(); err == nil {
+		t.Error("zero dynamic energy must fail")
+	}
+}
+
+func TestDynamicEPIPlausible(t *testing.T) {
+	// Cortex-A9-class 45nm cores run ~0.25-0.5 nJ/instruction at this
+	// voltage range.
+	epi := DefaultCore().DynamicEPIpJ()
+	if epi < 200 || epi > 500 {
+		t.Errorf("dynamic EPI = %.1f pJ, want 200-500", epi)
+	}
+}
+
+func TestCacheAccessesDominateMemoryComponents(t *testing.T) {
+	// The L1s are the biggest single dynamic consumers after the
+	// aggregate clock/misc — that is why L1 fault tolerance matters for
+	// energy at all.
+	shares := DefaultCore().DynamicBreakdown()
+	rank := map[string]int{}
+	for i, s := range shares {
+		rank[s.Name] = i
+	}
+	if rank["fetch/L1I access"] > 3 {
+		t.Errorf("L1I access rank = %d, should be a top consumer", rank["fetch/L1I access"])
+	}
+	sum := 0.0
+	for _, s := range shares {
+		sum += s.Share
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("shares sum to %v", sum)
+	}
+}
+
+func TestEnergyModelConsistency(t *testing.T) {
+	// The abstract constants in energy.DefaultModel must be derivable
+	// from this component model: same static-to-dynamic ratio and the
+	// same L1 leakage share, within 10%.
+	core := DefaultCore()
+	em := energy.DefaultModel()
+
+	wantRatio := em.CoreStaticPerRefCycle / em.CoreDynEPI
+	gotRatio := core.StaticSharePerRefCycle(dvfs.Nominal().FreqMHz)
+	if math.Abs(gotRatio-wantRatio)/wantRatio > 0.10 {
+		t.Errorf("static/dynamic ratio: mcpat %.5f vs energy model %.5f", gotRatio, wantRatio)
+	}
+
+	if got, want := core.L1LeakageShare(), em.L1ShareOfCoreStatic; math.Abs(got-want)/want > 0.10 {
+		t.Errorf("L1 leakage share: mcpat %.3f vs energy model %.3f", got, want)
+	}
+}
+
+func TestLeakagePlausible(t *testing.T) {
+	// Leakage should be a small fraction of total power at 760 mV for a
+	// dynamic-dominated embedded design. At CPI 1 the core retires f
+	// million instructions per second, so dynamic power in mW is
+	// EPI[pJ] × f[MHz] × 1e-3 (pJ × 1e6/s = µW).
+	core := DefaultCore()
+	f := dvfs.Nominal().FreqMHz
+	dynMW := core.DynamicEPIpJ() * f * 1e-3
+	if dynMW < 300 || dynMW > 900 {
+		t.Errorf("dynamic power = %.1f mW at 760 mV, want a few hundred mW", dynMW)
+	}
+	leakFrac := core.LeakageMW() / (core.LeakageMW() + dynMW)
+	if leakFrac < 0.005 || leakFrac > 0.08 {
+		t.Errorf("leakage fraction of total power = %.3f, want a few percent (dyn %.1f mW, leak %.2f mW)",
+			leakFrac, dynMW, core.LeakageMW())
+	}
+}

@@ -1,0 +1,148 @@
+// Package plot renders small ASCII charts for cmd/lvreport, so the
+// regenerated figures can be *seen*, not just tabulated: grouped bar
+// charts for the per-voltage scheme comparisons (Figures 10–12) and line
+// charts for the Pfail curves (Figure 2). Pure text, deterministic,
+// fully testable.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Series is one named data series.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// BarChart renders horizontal grouped bars: one group per label, one bar
+// per series, scaled to width characters at the maximum value. Values
+// must be non-negative; NaNs render as "n/a".
+func BarChart(title string, labels []string, series []Series, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	max := 0.0
+	for _, s := range series {
+		for _, v := range s.Values {
+			if !math.IsNaN(v) && v > max {
+				max = v
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if max == 0 {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	nameW := 0
+	for _, s := range series {
+		if len(s.Name) > nameW {
+			nameW = len(s.Name)
+		}
+	}
+	for li, label := range labels {
+		fmt.Fprintf(&b, "%s\n", label)
+		for _, s := range series {
+			v := math.NaN()
+			if li < len(s.Values) {
+				v = s.Values[li]
+			}
+			if math.IsNaN(v) {
+				fmt.Fprintf(&b, "  %-*s | n/a\n", nameW, s.Name)
+				continue
+			}
+			n := int(math.Round(v / max * float64(width)))
+			if n < 0 {
+				n = 0
+			}
+			if v > 0 && n == 0 {
+				n = 1
+			}
+			fmt.Fprintf(&b, "  %-*s |%s %.3g\n", nameW, s.Name, strings.Repeat("#", n), v)
+		}
+	}
+	return b.String()
+}
+
+// LineChart renders one or more series over a shared x axis on a
+// rows×width character grid with a log-10 y axis option — Figure 2's
+// Pfail curves span 14 decades, so the log scale is what makes them
+// legible. Each series draws with its own rune.
+func LineChart(title string, xs []float64, series []Series, rows, width int, logY bool) string {
+	if rows < 4 {
+		rows = 4
+	}
+	if width < 16 {
+		width = 16
+	}
+	transform := func(v float64) (float64, bool) {
+		if math.IsNaN(v) {
+			return 0, false
+		}
+		if logY {
+			if v <= 0 {
+				return 0, false
+			}
+			return math.Log10(v), true
+		}
+		return v, true
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for _, v := range s.Values {
+			if t, ok := transform(v); ok {
+				lo, hi = math.Min(lo, t), math.Max(hi, t)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	if math.IsInf(lo, 1) {
+		b.WriteString("(no data)\n")
+		return b.String()
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	grid := make([][]rune, rows)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", width))
+	}
+	marks := []rune("*o+x@%")
+	for si, s := range series {
+		mark := marks[si%len(marks)]
+		for i, v := range s.Values {
+			t, ok := transform(v)
+			if !ok || len(xs) < 2 {
+				continue
+			}
+			col := int(math.Round(float64(i) / float64(len(xs)-1) * float64(width-1)))
+			row := int(math.Round((hi - t) / (hi - lo) * float64(rows-1)))
+			if col >= 0 && col < width && row >= 0 && row < rows {
+				grid[row][col] = mark
+			}
+		}
+	}
+	yLabel := func(t float64) string {
+		if logY {
+			return fmt.Sprintf("1e%+.0f", t)
+		}
+		return fmt.Sprintf("%.3g", t)
+	}
+	for r := range grid {
+		frac := float64(r) / float64(rows-1)
+		fmt.Fprintf(&b, "%8s |%s\n", yLabel(hi-frac*(hi-lo)), string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%8s +%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%8s  %-*.4g%*.4g\n", "", width/2, xs[0], width-width/2, xs[len(xs)-1])
+	var legend []string
+	for si, s := range series {
+		legend = append(legend, fmt.Sprintf("%c=%s", marks[si%len(marks)], s.Name))
+	}
+	fmt.Fprintf(&b, "%8s  %s\n", "", strings.Join(legend, "  "))
+	return b.String()
+}

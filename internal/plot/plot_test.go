@@ -1,0 +1,108 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestBarChartBasic(t *testing.T) {
+	out := BarChart("title", []string{"400mV"}, []Series{
+		{Name: "FFW+BBR", Values: []float64{1.2}},
+		{Name: "wdis", Values: []float64{4.4}},
+	}, 40)
+	if !strings.Contains(out, "title") || !strings.Contains(out, "400mV") {
+		t.Error("missing title or label")
+	}
+	// The larger value gets the full width; the smaller is proportional.
+	lines := strings.Split(out, "\n")
+	var ffw, wdis string
+	for _, l := range lines {
+		if strings.Contains(l, "FFW+BBR") {
+			ffw = l
+		}
+		if strings.Contains(l, "wdis") {
+			wdis = l
+		}
+	}
+	if strings.Count(wdis, "#") != 40 {
+		t.Errorf("max bar should be full width: %q", wdis)
+	}
+	want := int(math.Round(1.2 / 4.4 * 40))
+	if got := strings.Count(ffw, "#"); got != want {
+		t.Errorf("proportional bar = %d hashes, want %d", got, want)
+	}
+}
+
+func TestBarChartEdges(t *testing.T) {
+	if out := BarChart("t", []string{"a"}, []Series{{Name: "s", Values: []float64{0}}}, 20); !strings.Contains(out, "no data") {
+		t.Error("all-zero chart should say no data")
+	}
+	// NaN and missing values render as n/a (needs a real value elsewhere
+	// so the chart has a scale).
+	out := BarChart("t", []string{"a", "b"}, []Series{
+		{Name: "s", Values: []float64{math.NaN()}},
+		{Name: "ok", Values: []float64{1, 2}},
+	}, 20)
+	if strings.Count(out, "n/a") != 2 {
+		t.Errorf("NaN and missing values should render n/a twice:\n%s", out)
+	}
+	// Tiny positive values still show one mark.
+	out = BarChart("t", []string{"a"}, []Series{
+		{Name: "big", Values: []float64{100}},
+		{Name: "tiny", Values: []float64{0.01}},
+	}, 20)
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "tiny") && !strings.Contains(l, "#") {
+			t.Error("tiny positive value lost its mark")
+		}
+	}
+}
+
+func TestLineChartLog(t *testing.T) {
+	xs := []float64{350, 900}
+	out := LineChart("pfail", xs, []Series{
+		{Name: "bit", Values: []float64{1e-2, 1e-15}},
+	}, 6, 30, true)
+	if !strings.Contains(out, "1e-2") && !strings.Contains(out, "1e+") {
+		t.Errorf("log axis labels missing:\n%s", out)
+	}
+	if !strings.Contains(out, "*=bit") {
+		t.Error("legend missing")
+	}
+	if !strings.Contains(out, "350") || !strings.Contains(out, "900") {
+		t.Error("x-axis endpoints missing")
+	}
+}
+
+func TestLineChartLinear(t *testing.T) {
+	out := LineChart("t", []float64{0, 1, 2}, []Series{
+		{Name: "a", Values: []float64{1, 2, 3}},
+		{Name: "b", Values: []float64{3, 2, 1}},
+	}, 5, 20, false)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("both series marks should appear:\n%s", out)
+	}
+}
+
+func TestLineChartEmpty(t *testing.T) {
+	out := LineChart("t", []float64{1, 2}, []Series{{Name: "a", Values: []float64{math.NaN()}}}, 5, 20, false)
+	if !strings.Contains(out, "no data") {
+		t.Error("NaN-only series should say no data")
+	}
+	// Log scale drops non-positive values.
+	out = LineChart("t", []float64{1, 2}, []Series{{Name: "a", Values: []float64{0, -1}}}, 5, 20, true)
+	if !strings.Contains(out, "no data") {
+		t.Error("non-positive values on a log axis should say no data")
+	}
+}
+
+func TestChartsAreDeterministic(t *testing.T) {
+	mk := func() string {
+		return BarChart("t", []string{"x"}, []Series{{Name: "s", Values: []float64{1}}}, 10) +
+			LineChart("t", []float64{0, 1}, []Series{{Name: "s", Values: []float64{1, 2}}}, 4, 16, false)
+	}
+	if mk() != mk() {
+		t.Error("chart output is nondeterministic")
+	}
+}

@@ -1,0 +1,210 @@
+package program
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// GenConfig parameterizes synthetic CFG generation. Zero fields take the
+// defaults of DefaultGenConfig; fractions are clamped nowhere — invalid
+// combinations fail Generate's post-validation.
+type GenConfig struct {
+	// Blocks is the number of basic blocks (static footprint knob).
+	Blocks int
+	// MeanBlockSize is the average block size in instructions. Prior
+	// studies report 5–6 for CPU-intensive workloads ([25], [26]).
+	MeanBlockSize float64
+	// MaxBlockSize caps block size before BBR's splitting pass (which has
+	// its own threshold).
+	MaxBlockSize int
+	// LoadFrac and StoreFrac set the fraction of non-terminator
+	// instructions that access the data cache.
+	LoadFrac, StoreFrac float64
+	// LoopProb is the probability a loop begins at a given block when not
+	// already inside one.
+	LoopProb float64
+	// MeanLoopBodyBlocks is the average loop body length in blocks.
+	MeanLoopBodyBlocks float64
+	// MeanTripCount is the average loop trip count; the backedge's taken
+	// probability is trips/(trips+1).
+	MeanTripCount float64
+	// ForwardBranchProb is the probability a non-loop block ends in a
+	// forward conditional branch (if/else shapes).
+	ForwardBranchProb float64
+	// ForwardJumpProb is the probability a non-loop block ends in an
+	// unconditional forward jump.
+	ForwardJumpProb float64
+	// LiteralProb is the probability a block carries a literal pool;
+	// MeanLiteralWords is the pool's average size.
+	LiteralProb      float64
+	MeanLiteralWords float64
+}
+
+// DefaultGenConfig is an embedded-workload-shaped CFG: ~5.5-instruction
+// blocks, a third of instructions touching memory, tight loops.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{
+		Blocks:             400,
+		MeanBlockSize:      5.5,
+		MaxBlockSize:       24,
+		LoadFrac:           0.25,
+		StoreFrac:          0.10,
+		LoopProb:           0.15,
+		MeanLoopBodyBlocks: 4,
+		MeanTripCount:      20,
+		ForwardBranchProb:  0.25,
+		ForwardJumpProb:    0.05,
+		LiteralProb:        0.15,
+		MeanLiteralWords:   2,
+	}
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	d := DefaultGenConfig()
+	if c.Blocks == 0 {
+		c.Blocks = d.Blocks
+	}
+	if c.MeanBlockSize == 0 {
+		c.MeanBlockSize = d.MeanBlockSize
+	}
+	if c.MaxBlockSize == 0 {
+		c.MaxBlockSize = d.MaxBlockSize
+	}
+	if c.LoadFrac == 0 && c.StoreFrac == 0 {
+		c.LoadFrac, c.StoreFrac = d.LoadFrac, d.StoreFrac
+	}
+	if c.LoopProb == 0 {
+		c.LoopProb = d.LoopProb
+	}
+	if c.MeanLoopBodyBlocks == 0 {
+		c.MeanLoopBodyBlocks = d.MeanLoopBodyBlocks
+	}
+	if c.MeanTripCount == 0 {
+		c.MeanTripCount = d.MeanTripCount
+	}
+	if c.ForwardBranchProb == 0 && c.ForwardJumpProb == 0 {
+		c.ForwardBranchProb, c.ForwardJumpProb = d.ForwardBranchProb, d.ForwardJumpProb
+	}
+	if c.LiteralProb == 0 {
+		c.LiteralProb, c.MeanLiteralWords = d.LiteralProb, d.MeanLiteralWords
+	}
+	return c
+}
+
+// geometric draws a non-negative integer with the given mean (0 mean
+// returns 0).
+func geometric(mean float64, rng *rand.Rand) int {
+	if mean <= 0 {
+		return 0
+	}
+	p := 1 / (1 + mean)
+	u := rng.Float64()
+	if u == 0 {
+		return 0
+	}
+	return int(math.Log(u) / math.Log(1-p))
+}
+
+// Generate builds a synthetic CFG. The result always validates; Generate
+// panics only on configurations that cannot produce a legal program
+// (fewer than 2 blocks).
+func Generate(cfg GenConfig, rng *rand.Rand) *Program {
+	cfg = cfg.withDefaults()
+	if cfg.Blocks < 2 {
+		panic(fmt.Sprintf("program: Generate requires >= 2 blocks, got %d", cfg.Blocks))
+	}
+	n := cfg.Blocks
+	p := &Program{Blocks: make([]BasicBlock, n)}
+
+	// Sizes and literal pools.
+	for i := range p.Blocks {
+		size := 1 + geometric(cfg.MeanBlockSize-1, rng)
+		if size > cfg.MaxBlockSize {
+			size = cfg.MaxBlockSize
+		}
+		p.Blocks[i].Size = size
+		if rng.Float64() < cfg.LiteralProb {
+			p.Blocks[i].LiteralWords = 1 + geometric(cfg.MeanLiteralWords-1, rng)
+		}
+	}
+
+	// Structure: single-level loops laid over a forward skeleton.
+	loopEnd, loopStart := -1, -1
+	for i := 0; i < n-1; i++ {
+		b := &p.Blocks[i]
+		if i > loopEnd && rng.Float64() < cfg.LoopProb {
+			body := 1 + geometric(cfg.MeanLoopBodyBlocks-1, rng)
+			loopStart = i
+			loopEnd = i + body
+			if loopEnd > n-2 {
+				loopEnd = n - 2
+			}
+		}
+		switch {
+		case i == loopEnd:
+			// Backedge: taken with probability trips/(trips+1).
+			trips := 1 + geometric(cfg.MeanTripCount-1, rng)
+			b.Term = TermBranch
+			b.Target = BlockID(loopStart)
+			b.TakenProb = float64(trips) / float64(trips+1)
+		case i < loopEnd:
+			// Inside a loop body: mostly fall-through, occasional forward
+			// branch within the loop.
+			if rng.Float64() < cfg.ForwardBranchProb && i+1 < loopEnd {
+				b.Term = TermBranch
+				b.Target = BlockID(i + 1 + rng.Intn(loopEnd-i))
+				if b.Target <= BlockID(i) {
+					b.Target = BlockID(i + 1)
+				}
+				b.TakenProb = 0.3
+			} else {
+				b.Term = TermFall
+			}
+		default:
+			// Straight-line region.
+			r := rng.Float64()
+			maxFwd := i + 8
+			if maxFwd > n-1 {
+				maxFwd = n - 1
+			}
+			switch {
+			case r < cfg.ForwardBranchProb && i+2 <= maxFwd:
+				b.Term = TermBranch
+				b.Target = BlockID(i + 2 + rng.Intn(maxFwd-i-1))
+				b.TakenProb = 0.4
+			case r < cfg.ForwardBranchProb+cfg.ForwardJumpProb && i+2 <= maxFwd:
+				b.Term = TermJump
+				b.Target = BlockID(i + 2 + rng.Intn(maxFwd-i-1))
+			default:
+				b.Term = TermFall
+			}
+		}
+	}
+	p.Blocks[n-1].Term = TermExit
+
+	// Instruction kinds.
+	for i := range p.Blocks {
+		b := &p.Blocks[i]
+		b.Kinds = make([]InstrKind, b.Size)
+		for j := 0; j < b.Size; j++ {
+			r := rng.Float64()
+			switch {
+			case r < cfg.LoadFrac:
+				b.Kinds[j] = KindLoad
+			case r < cfg.LoadFrac+cfg.StoreFrac:
+				b.Kinds[j] = KindStore
+			default:
+				b.Kinds[j] = KindALU
+			}
+		}
+		if b.Term == TermBranch || b.Term == TermJump {
+			b.Kinds[b.Size-1] = KindBranch
+		}
+	}
+
+	if err := p.Validate(); err != nil {
+		panic(fmt.Sprintf("program: generator produced invalid CFG: %v", err))
+	}
+	return p
+}

@@ -1,0 +1,261 @@
+// Package program models programs as control-flow graphs of basic blocks
+// — the representation BBR's compiler transformations and linker operate
+// on (Section IV-B), and the source of instruction-fetch streams for the
+// timing simulations.
+//
+// The model is deliberately ISA-light: a basic block is a run of
+// instruction words ending in one terminator (fall-through, conditional
+// branch, unconditional jump, or exit), optionally followed by a literal
+// pool (ARM-style PC-relative constants that must travel with the block).
+// This captures exactly what BBR depends on — block sizes, fall-through
+// frequency, control-flow structure and literal placement — without
+// modelling instruction encodings.
+package program
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// BlockID identifies a basic block by its index in Program.Blocks.
+type BlockID int
+
+// TermKind is how a basic block ends.
+type TermKind int
+
+const (
+	// TermFall falls through to the next block in layout order. BBR's
+	// compiler pass converts these to explicit jumps so blocks become
+	// relocatable.
+	TermFall TermKind = iota
+	// TermBranch is a conditional branch: taken goes to Target, not-taken
+	// falls through to the next block.
+	TermBranch
+	// TermJump is an unconditional jump to Target.
+	TermJump
+	// TermExit ends the program (walkers restart from the entry,
+	// modelling the surrounding run loop).
+	TermExit
+)
+
+// String implements fmt.Stringer.
+func (k TermKind) String() string {
+	switch k {
+	case TermFall:
+		return "fall"
+	case TermBranch:
+		return "branch"
+	case TermJump:
+		return "jump"
+	case TermExit:
+		return "exit"
+	default:
+		return fmt.Sprintf("TermKind(%d)", int(k))
+	}
+}
+
+// InstrKind classifies one instruction word for the timing model.
+type InstrKind uint8
+
+const (
+	// KindALU is a register-to-register operation.
+	KindALU InstrKind = iota
+	// KindLoad reads memory through the L1 data cache.
+	KindLoad
+	// KindStore writes memory through the (write-through) L1 data cache.
+	KindStore
+	// KindBranch is a control-transfer instruction (a block terminator or
+	// a BBR-inserted jump).
+	KindBranch
+)
+
+// String implements fmt.Stringer.
+func (k InstrKind) String() string {
+	switch k {
+	case KindALU:
+		return "alu"
+	case KindLoad:
+		return "load"
+	case KindStore:
+		return "store"
+	case KindBranch:
+		return "branch"
+	default:
+		return fmt.Sprintf("InstrKind(%d)", int(k))
+	}
+}
+
+// BasicBlock is one relocatable unit of code.
+type BasicBlock struct {
+	// Size is the number of instruction words, including the terminator
+	// when Term is TermBranch or TermJump. Always >= 1.
+	Size int
+	// LiteralWords is the size of the literal pool appended after the
+	// instructions. Literals are read through the data cache (PC-relative
+	// loads) but occupy instruction address space, so they travel with
+	// the block when it is relocated.
+	LiteralWords int
+	// Term is the terminator kind.
+	Term TermKind
+	// Target is the taken/jump destination for TermBranch and TermJump.
+	Target BlockID
+	// TakenProb is the probability a TermBranch is taken, used by
+	// walkers to synthesize dynamic control flow.
+	TakenProb float64
+	// ExplicitFall marks a TermBranch block whose not-taken path goes
+	// through a BBR-appended unconditional jump (the last instruction of
+	// the block) to FallTarget, instead of falling through to the next
+	// block. This is what makes conditionally-terminated blocks
+	// relocatable (Figure 8, "inserting jumps").
+	ExplicitFall bool
+	// TransformAdded marks the last instruction word as inserted by the
+	// BBR compiler pass (an appended fall jump or a split-chain jump).
+	// Such instructions are execution overhead: they do the original
+	// program no useful work, and the timing model excludes them from the
+	// work-based instruction count so schemes stay comparable.
+	TransformAdded bool
+	// FallTarget is the not-taken successor when ExplicitFall is set.
+	FallTarget BlockID
+	// Kinds classifies each instruction word; len(Kinds) == Size.
+	Kinds []InstrKind
+}
+
+// Footprint is the address-space size of the block in words: instructions
+// plus the literal pool. This is the size BBR's linker must find a
+// fault-free chunk for (conservatively, the pool is placed inside the
+// chunk along with the code).
+func (b *BasicBlock) Footprint() int { return b.Size + b.LiteralWords }
+
+// Program is a control-flow graph with entry at block 0.
+type Program struct {
+	Blocks []BasicBlock
+}
+
+// Validate checks structural invariants: non-empty, sizes positive, kind
+// slices consistent, targets in range, terminator kinds consistent with
+// kinds, and no fall-through off the end of the program.
+func (p *Program) Validate() error {
+	if len(p.Blocks) == 0 {
+		return fmt.Errorf("program: no blocks")
+	}
+	for i := range p.Blocks {
+		b := &p.Blocks[i]
+		if b.Size < 1 {
+			return fmt.Errorf("program: block %d has size %d", i, b.Size)
+		}
+		if b.LiteralWords < 0 {
+			return fmt.Errorf("program: block %d has negative literal pool", i)
+		}
+		if len(b.Kinds) != b.Size {
+			return fmt.Errorf("program: block %d has %d kinds for %d instructions", i, len(b.Kinds), b.Size)
+		}
+		switch b.Term {
+		case TermBranch, TermJump:
+			if b.Target < 0 || int(b.Target) >= len(p.Blocks) {
+				return fmt.Errorf("program: block %d targets %d, out of range", i, b.Target)
+			}
+			if b.Kinds[b.Size-1] != KindBranch {
+				return fmt.Errorf("program: block %d ends in %v but last instruction is %v", i, b.Term, b.Kinds[b.Size-1])
+			}
+			if b.Term == TermBranch && (b.TakenProb < 0 || b.TakenProb > 1) {
+				return fmt.Errorf("program: block %d taken probability %v out of [0,1]", i, b.TakenProb)
+			}
+		case TermFall:
+			if i == len(p.Blocks)-1 {
+				return fmt.Errorf("program: last block falls through off the end")
+			}
+		case TermExit:
+			// No constraints.
+		default:
+			return fmt.Errorf("program: block %d has unknown terminator %d", i, b.Term)
+		}
+		if b.Term == TermBranch && !b.ExplicitFall && i == len(p.Blocks)-1 {
+			return fmt.Errorf("program: last block's branch has no fall-through successor")
+		}
+		if b.ExplicitFall {
+			if b.Term != TermBranch {
+				return fmt.Errorf("program: block %d has ExplicitFall on a %v terminator", i, b.Term)
+			}
+			if b.FallTarget < 0 || int(b.FallTarget) >= len(p.Blocks) {
+				return fmt.Errorf("program: block %d fall target %d out of range", i, b.FallTarget)
+			}
+			if b.Size < 2 {
+				return fmt.Errorf("program: block %d too small to carry an appended fall jump", i)
+			}
+		}
+	}
+	return nil
+}
+
+// StaticWords returns the total address-space footprint in words.
+func (p *Program) StaticWords() int {
+	n := 0
+	for i := range p.Blocks {
+		n += p.Blocks[i].Footprint()
+	}
+	return n
+}
+
+// StaticInstrs returns the total static instruction count.
+func (p *Program) StaticInstrs() int {
+	n := 0
+	for i := range p.Blocks {
+		n += p.Blocks[i].Size
+	}
+	return n
+}
+
+// MeanBlockSize returns the average basic-block size in instructions —
+// the quantity Figure 6(b) compares against fault-free chunk sizes
+// (typical CPU workloads average 5–6).
+func (p *Program) MeanBlockSize() float64 {
+	if len(p.Blocks) == 0 {
+		return 0
+	}
+	return float64(p.StaticInstrs()) / float64(len(p.Blocks))
+}
+
+// Walker produces the dynamic basic-block sequence of one synthetic
+// execution: conditional branches are taken with their block's
+// TakenProb, TermExit restarts from the entry. The stream is infinite
+// and deterministic for a given seed.
+type Walker struct {
+	prog *Program
+	rng  *rand.Rand
+	cur  BlockID
+}
+
+// NewWalker starts a walker at the program entry. The program must have
+// been validated by the caller.
+func NewWalker(p *Program, seed int64) *Walker {
+	return &Walker{prog: p, rng: rand.New(rand.NewSource(seed)), cur: 0}
+}
+
+// Current returns the block the walker is about to execute.
+func (w *Walker) Current() BlockID { return w.cur }
+
+// Next executes the current block and advances, returning the block just
+// executed and whether its terminating branch (if any) was taken.
+func (w *Walker) Next() (executed BlockID, taken bool) {
+	executed = w.cur
+	b := &w.prog.Blocks[w.cur]
+	switch b.Term {
+	case TermFall:
+		w.cur++
+	case TermJump:
+		w.cur = b.Target
+		taken = true
+	case TermBranch:
+		if w.rng.Float64() < b.TakenProb {
+			w.cur = b.Target
+			taken = true
+		} else if b.ExplicitFall {
+			w.cur = b.FallTarget
+		} else {
+			w.cur++
+		}
+	case TermExit:
+		w.cur = 0
+	}
+	return executed, taken
+}

@@ -1,0 +1,365 @@
+package program
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// tinyProgram: 0 falls to 1; 1 branches back to 0 (p=0.5) or falls to 2;
+// 2 exits.
+func tinyProgram() *Program {
+	return &Program{Blocks: []BasicBlock{
+		{Size: 3, Term: TermFall, Kinds: []InstrKind{KindALU, KindLoad, KindStore}},
+		{Size: 2, Term: TermBranch, Target: 0, TakenProb: 0.5, Kinds: []InstrKind{KindALU, KindBranch}},
+		{Size: 1, Term: TermExit, Kinds: []InstrKind{KindALU}},
+	}}
+}
+
+func TestValidateAcceptsTiny(t *testing.T) {
+	if err := tinyProgram().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	base := tinyProgram()
+	cases := map[string]func(p *Program){
+		"empty":           func(p *Program) { p.Blocks = nil },
+		"zero size":       func(p *Program) { p.Blocks[0].Size = 0 },
+		"neg literals":    func(p *Program) { p.Blocks[0].LiteralWords = -1 },
+		"kind mismatch":   func(p *Program) { p.Blocks[0].Kinds = p.Blocks[0].Kinds[:2] },
+		"target range":    func(p *Program) { p.Blocks[1].Target = 99 },
+		"non-branch tail": func(p *Program) { p.Blocks[1].Kinds[1] = KindALU },
+		"bad prob":        func(p *Program) { p.Blocks[1].TakenProb = 1.5 },
+		"fall off end":    func(p *Program) { p.Blocks[2].Term = TermFall },
+		"branch off end": func(p *Program) {
+			p.Blocks[2].Term = TermBranch
+			p.Blocks[2].Target = 0
+			p.Blocks[2].Kinds[0] = KindBranch
+		},
+		"unknown term": func(p *Program) { p.Blocks[0].Term = TermKind(42) },
+	}
+	for name, corrupt := range cases {
+		t.Run(name, func(t *testing.T) {
+			p := tinyProgram()
+			_ = base
+			corrupt(p)
+			if err := p.Validate(); err == nil {
+				t.Error("expected validation error")
+			}
+		})
+	}
+}
+
+func TestStaticCounts(t *testing.T) {
+	p := tinyProgram()
+	p.Blocks[0].LiteralWords = 2
+	if got := p.StaticInstrs(); got != 6 {
+		t.Errorf("StaticInstrs = %d, want 6", got)
+	}
+	if got := p.StaticWords(); got != 8 {
+		t.Errorf("StaticWords = %d, want 8", got)
+	}
+	if got := p.MeanBlockSize(); got != 2 {
+		t.Errorf("MeanBlockSize = %v, want 2", got)
+	}
+	empty := &Program{}
+	if empty.MeanBlockSize() != 0 {
+		t.Error("empty MeanBlockSize should be 0")
+	}
+}
+
+func TestFootprint(t *testing.T) {
+	b := BasicBlock{Size: 5, LiteralWords: 3}
+	if b.Footprint() != 8 {
+		t.Errorf("Footprint = %d, want 8", b.Footprint())
+	}
+}
+
+func TestWalkerDeterministic(t *testing.T) {
+	p := tinyProgram()
+	a, b := NewWalker(p, 7), NewWalker(p, 7)
+	for i := 0; i < 100; i++ {
+		ba, ta := a.Next()
+		bb, tb := b.Next()
+		if ba != bb || ta != tb {
+			t.Fatalf("walkers diverged at step %d", i)
+		}
+	}
+}
+
+func TestWalkerFollowsCFG(t *testing.T) {
+	p := tinyProgram()
+	w := NewWalker(p, 1)
+	if w.Current() != 0 {
+		t.Fatal("walker must start at entry")
+	}
+	prev := BlockID(-1)
+	for i := 0; i < 1000; i++ {
+		cur := w.Current()
+		executed, taken := w.Next()
+		if executed != cur {
+			t.Fatal("Next returned wrong executed block")
+		}
+		next := w.Current()
+		switch p.Blocks[executed].Term {
+		case TermFall:
+			if next != executed+1 || taken {
+				t.Fatalf("fall-through went %d -> %d (taken=%v)", executed, next, taken)
+			}
+		case TermBranch:
+			if taken && next != p.Blocks[executed].Target {
+				t.Fatalf("taken branch went to %d", next)
+			}
+			if !taken && next != executed+1 {
+				t.Fatalf("not-taken branch went to %d", next)
+			}
+		case TermExit:
+			if next != 0 {
+				t.Fatalf("exit restarted at %d", next)
+			}
+		}
+		prev = executed
+	}
+	_ = prev
+}
+
+func TestWalkerBranchFrequency(t *testing.T) {
+	// The 0.5-probability backedge should be taken roughly half the time.
+	p := tinyProgram()
+	w := NewWalker(p, 99)
+	taken, total := 0, 0
+	for i := 0; i < 30000; i++ {
+		b, tk := w.Next()
+		if b == 1 {
+			total++
+			if tk {
+				taken++
+			}
+		}
+	}
+	frac := float64(taken) / float64(total)
+	if frac < 0.45 || frac > 0.55 {
+		t.Errorf("backedge taken fraction = %.3f, want ~0.5", frac)
+	}
+}
+
+func TestTermAndKindStrings(t *testing.T) {
+	if TermFall.String() != "fall" || TermBranch.String() != "branch" ||
+		TermJump.String() != "jump" || TermExit.String() != "exit" {
+		t.Error("TermKind.String broken")
+	}
+	if TermKind(9).String() != "TermKind(9)" {
+		t.Error("unknown TermKind.String broken")
+	}
+	if KindALU.String() != "alu" || KindLoad.String() != "load" ||
+		KindStore.String() != "store" || KindBranch.String() != "branch" {
+		t.Error("InstrKind.String broken")
+	}
+	if InstrKind(9).String() != "InstrKind(9)" {
+		t.Error("unknown InstrKind.String broken")
+	}
+}
+
+func TestGenerateValidates(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		p := Generate(GenConfig{}, rand.New(rand.NewSource(seed)))
+		if err := p.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestGenerateRespectsBlockCount(t *testing.T) {
+	p := Generate(GenConfig{Blocks: 123}, rand.New(rand.NewSource(1)))
+	if len(p.Blocks) != 123 {
+		t.Errorf("Blocks = %d, want 123", len(p.Blocks))
+	}
+}
+
+func TestGenerateMeanBlockSizeCalibrated(t *testing.T) {
+	// Figure 6(b): typical workloads average 5-6 instructions per block.
+	p := Generate(GenConfig{Blocks: 4000}, rand.New(rand.NewSource(2)))
+	mean := p.MeanBlockSize()
+	if mean < 4.0 || mean < 4 || mean > 7 {
+		t.Errorf("MeanBlockSize = %.2f, want ~5.5", mean)
+	}
+}
+
+func TestGenerateInstructionMix(t *testing.T) {
+	p := Generate(GenConfig{Blocks: 4000}, rand.New(rand.NewSource(3)))
+	counts := map[InstrKind]int{}
+	total := 0
+	for i := range p.Blocks {
+		for _, k := range p.Blocks[i].Kinds {
+			counts[k]++
+			total++
+		}
+	}
+	loadFrac := float64(counts[KindLoad]) / float64(total)
+	storeFrac := float64(counts[KindStore]) / float64(total)
+	if loadFrac < 0.15 || loadFrac > 0.35 {
+		t.Errorf("load fraction = %.3f, want ~0.25", loadFrac)
+	}
+	if storeFrac < 0.05 || storeFrac > 0.18 {
+		t.Errorf("store fraction = %.3f, want ~0.10", storeFrac)
+	}
+	if counts[KindBranch] == 0 {
+		t.Error("no branches generated")
+	}
+}
+
+func TestGenerateWalkable(t *testing.T) {
+	// The generated CFG must be executable forever without getting stuck
+	// (every loop has an exit path).
+	p := Generate(GenConfig{Blocks: 200}, rand.New(rand.NewSource(4)))
+	w := NewWalker(p, 5)
+	exits := 0
+	for i := 0; i < 200000; i++ {
+		b, _ := w.Next()
+		if p.Blocks[b].Term == TermExit {
+			exits++
+		}
+	}
+	if exits == 0 {
+		t.Error("walker never reached the exit in 200k blocks: CFG may trap execution")
+	}
+}
+
+func TestGeneratePanicsOnTooFewBlocks(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Generate with 1 block should panic")
+		}
+	}()
+	Generate(GenConfig{Blocks: 1}, rand.New(rand.NewSource(1)))
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(GenConfig{Blocks: 100}, rand.New(rand.NewSource(8)))
+	b := Generate(GenConfig{Blocks: 100}, rand.New(rand.NewSource(8)))
+	if len(a.Blocks) != len(b.Blocks) {
+		t.Fatal("nondeterministic block count")
+	}
+	for i := range a.Blocks {
+		x, y := a.Blocks[i], b.Blocks[i]
+		if x.Size != y.Size || x.Term != y.Term || x.Target != y.Target || x.LiteralWords != y.LiteralWords {
+			t.Fatalf("block %d differs between identical seeds", i)
+		}
+	}
+}
+
+func TestGeometric(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	if geometric(0, rng) != 0 {
+		t.Error("geometric(0) must be 0")
+	}
+	sum := 0.0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		sum += float64(geometric(4.5, rng))
+	}
+	mean := sum / n
+	if mean < 4.0 || mean > 5.0 {
+		t.Errorf("geometric mean = %.2f, want ~4.5", mean)
+	}
+}
+
+func TestGeometricNonNegativeProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func(m uint8) bool {
+		return geometric(float64(m%50), rng) >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSequentialLayout(t *testing.T) {
+	p := tinyProgram()
+	p.Blocks[0].LiteralWords = 2
+	l := NewSequentialLayout(p, 0x1000)
+	// Block 0: 3 instrs + 2 literals = 5 words = 20 bytes.
+	if got := l.BlockAddr(0); got != 0x1000 {
+		t.Errorf("block 0 at %#x", got)
+	}
+	if got := l.BlockAddr(1); got != 0x1014 {
+		t.Errorf("block 1 at %#x, want 0x1014 (past instructions and literals)", got)
+	}
+	if got := l.BlockAddr(2); got != 0x101C {
+		t.Errorf("block 2 at %#x, want 0x101c", got)
+	}
+}
+
+func TestSequentialLayoutPanicsUnaligned(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("unaligned base should panic")
+		}
+	}()
+	NewSequentialLayout(tinyProgram(), 2)
+}
+
+func TestExecutedWords(t *testing.T) {
+	plain := BasicBlock{Size: 4, Term: TermJump}
+	if got := ExecutedWords(&plain, true); got != 4 {
+		t.Errorf("plain jump block executed %d, want 4", got)
+	}
+	// Explicit-fall branch: taken skips the appended jump.
+	ef := BasicBlock{Size: 5, Term: TermBranch, ExplicitFall: true}
+	if got := ExecutedWords(&ef, true); got != 4 {
+		t.Errorf("taken explicit-fall executed %d, want 4", got)
+	}
+	if got := ExecutedWords(&ef, false); got != 5 {
+		t.Errorf("not-taken explicit-fall executed %d, want 5", got)
+	}
+}
+
+func TestWalkerExplicitFall(t *testing.T) {
+	// Not-taken explicit-fall branches go to FallTarget, not i+1.
+	p := &Program{Blocks: []BasicBlock{
+		{Size: 2, Term: TermBranch, Target: 2, TakenProb: 0, ExplicitFall: true, FallTarget: 3,
+			Kinds: []InstrKind{KindBranch, KindBranch}},
+		{Size: 1, Term: TermExit, Kinds: []InstrKind{KindALU}},
+		{Size: 1, Term: TermExit, Kinds: []InstrKind{KindALU}},
+		{Size: 1, Term: TermExit, Kinds: []InstrKind{KindALU}},
+	}}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	w := NewWalker(p, 1)
+	w.Next() // executes block 0, never taken (prob 0)
+	if got := w.Current(); got != 3 {
+		t.Errorf("walker went to %d, want FallTarget 3", got)
+	}
+}
+
+func TestValidateExplicitFall(t *testing.T) {
+	base := func() *Program {
+		return &Program{Blocks: []BasicBlock{
+			{Size: 2, Term: TermBranch, Target: 1, ExplicitFall: true, FallTarget: 1,
+				Kinds: []InstrKind{KindBranch, KindBranch}},
+			{Size: 1, Term: TermExit, Kinds: []InstrKind{KindALU}},
+		}}
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("explicit-fall last block should be legal: %v", err)
+	}
+	p := base()
+	p.Blocks[0].FallTarget = 9
+	if err := p.Validate(); err == nil {
+		t.Error("out-of-range fall target must fail")
+	}
+	p = base()
+	p.Blocks[0].Term = TermJump
+	if err := p.Validate(); err == nil {
+		t.Error("ExplicitFall on a jump must fail")
+	}
+	p = base()
+	p.Blocks[0].Size = 1
+	p.Blocks[0].Kinds = []InstrKind{KindBranch}
+	if err := p.Validate(); err == nil {
+		t.Error("explicit-fall block of size 1 must fail")
+	}
+}

@@ -1,0 +1,99 @@
+package schemes
+
+import (
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/faultmap"
+)
+
+// SimpleWdis is simple word disable ([2], the paper's Simple-wdis):
+// defective words are never stored; an access to a word whose entry is
+// defective is treated like a normal cache miss and served by the L2,
+// every time. No extra latency (Table III), no substitution storage —
+// the cheapest scheme, and the one that collapses when defects become
+// dense (Figure 10 beyond 480 mV).
+type SimpleWdis struct {
+	name string
+	m    *maskedCache
+	next *core.NextLevel
+
+	stats WdisStats
+}
+
+// WdisStats counts word-disable events.
+type WdisStats struct {
+	Accesses     uint64
+	Hits         uint64
+	TagMisses    uint64
+	DefectMisses uint64 // accesses whose word entry was defective
+}
+
+// NewSimpleWdis builds the scheme over the cache's fault map.
+func NewSimpleWdis(fm *faultmap.Map, next *core.NextLevel) (*SimpleWdis, error) {
+	m, err := newMaskedCache("L1-wdis", fm)
+	if err != nil {
+		return nil, err
+	}
+	if next == nil {
+		return nil, errNilNext
+	}
+	return &SimpleWdis{name: "Simple-wdis", m: m, next: next}, nil
+}
+
+// Name implements core.DataCache/core.InstrCache.
+func (s *SimpleWdis) Name() string { return s.name }
+
+// HitLatency implements core.DataCache/core.InstrCache: zero overhead.
+func (s *SimpleWdis) HitLatency() int { return s.m.cfg.HitLatency }
+
+// Stats returns the scheme's counters.
+func (s *SimpleWdis) Stats() WdisStats { return s.stats }
+
+// Read implements core.DataCache.
+func (s *SimpleWdis) Read(addr uint64) core.AccessOutcome {
+	s.stats.Accesses++
+	r := s.m.access(addr, true)
+	switch {
+	case r.tagHit && r.wordOK:
+		s.stats.Hits++
+		return core.HitOutcome(s.HitLatency())
+	case !r.tagHit:
+		s.stats.TagMisses++
+		if !r.wordOK {
+			s.stats.DefectMisses++
+		}
+		return core.MissOutcome(s.HitLatency(), s.next, addr)
+	default:
+		// Tag hit on a defective word entry: always an L2 trip.
+		s.stats.DefectMisses++
+		return core.MissOutcome(s.HitLatency(), s.next, addr)
+	}
+}
+
+// Write implements core.DataCache: write-through, no write allocate.
+func (s *SimpleWdis) Write(addr uint64) core.AccessOutcome {
+	s.next.WriteWord(addr)
+	r := s.m.access(addr, false)
+	if r.tagHit && r.wordOK {
+		return core.HitOutcome(s.HitLatency())
+	}
+	return core.AccessOutcome{Latency: s.HitLatency()}
+}
+
+// Fetch implements core.InstrCache.
+func (s *SimpleWdis) Fetch(addr uint64) core.AccessOutcome { return s.Read(addr) }
+
+// errNilNext is shared by scheme constructors.
+var errNilNext = errNilNextLevel{}
+
+type errNilNextLevel struct{}
+
+func (errNilNextLevel) Error() string { return "schemes: nil next level" }
+
+// WordEntryDefective reports whether the physical entry that addr maps to
+// in frame (set, way) coordinates is defective — a helper for tests and
+// the yield analysis.
+func WordEntryDefective(fm *faultmap.Map, cfg cache.Config, addr uint64, way int) bool {
+	set := cfg.Index(addr)
+	return fm.Defective(cfg.FrameWordIndex(set, way, cache.WordInBlock(addr)))
+}

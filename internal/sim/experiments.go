@@ -1,0 +1,243 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/cpu"
+	"repro/internal/dvfs"
+	"repro/internal/energy"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// EvalCell is one (scheme, operating point) cell of the paper's
+// evaluation, aggregated over benchmarks and Monte Carlo fault maps. It
+// feeds Figure 10 (NormRuntime and the component shares), Figure 11
+// (L2PerKilo) and Figure 12 (NormEPI).
+type EvalCell struct {
+	Scheme    Scheme
+	VoltageMV int
+
+	// NormRuntime is runtime normalized to the defect-free baseline at
+	// the same operating point (mean over benchmarks of per-benchmark
+	// Monte Carlo means); RuntimeMoE is the worst per-benchmark 95%
+	// margin of error.
+	NormRuntime float64
+	RuntimeMoE  float64
+	// Runtime component shares (the paper's three-way split).
+	BaseShare, L1Share, MemShare float64
+	// L2PerKilo is demand L2 reads per 1000 useful instructions.
+	L2PerKilo float64
+	// NormEPI is energy per instruction normalized to the conventional
+	// cache at 760 mV (geometric mean over benchmarks, as in the paper).
+	NormEPI float64
+	// Samples is total Monte Carlo runs folded in; YieldFails counts
+	// fault maps the scheme could not cover.
+	Samples    int
+	YieldFails int
+}
+
+// Evaluate runs the full evaluation grid. Benchmarks defaults to the
+// paper's ten when nil; ops defaults to the low-voltage region.
+func Evaluate(cfg Config, ss []Scheme, benchmarks []string, ops []dvfs.OperatingPoint) ([]EvalCell, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if benchmarks == nil {
+		benchmarks = workload.Names()
+	}
+	if ops == nil {
+		ops = dvfs.LowVoltagePoints()
+	}
+	if len(ss) == 0 {
+		ss = EvalSchemes()
+	}
+
+	base, err := newBaselines(cfg, benchmarks, ops)
+	if err != nil {
+		return nil, err
+	}
+
+	cells := make([]EvalCell, 0, len(ss)*len(ops))
+	for _, op := range ops {
+		for _, s := range ss {
+			cell, err := evalCell(cfg, s, op, benchmarks, base)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, cell)
+		}
+	}
+	return cells, nil
+}
+
+// baselines caches the per-benchmark reference runs: the defect-free
+// cache at every operating point (runtime normalization) and the
+// conventional cache at 760 mV (EPI normalization).
+type baselines struct {
+	defectFree map[string]map[int]cpu.Result // benchmark -> voltage -> result
+	epi        map[string]cpu.Result         // benchmark -> conventional @760
+	workSeed   map[string]int64
+}
+
+func newBaselines(cfg Config, benchmarks []string, ops []dvfs.OperatingPoint) (*baselines, error) {
+	b := &baselines{
+		defectFree: make(map[string]map[int]cpu.Result),
+		epi:        make(map[string]cpu.Result),
+		workSeed:   make(map[string]int64),
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(benchmarks))
+	for i, bench := range benchmarks {
+		b.workSeed[bench] = cfg.Seed*1000 + int64(i)
+	}
+	for _, bench := range benchmarks {
+		wg.Add(1)
+		go func(bench string) {
+			defer wg.Done()
+			perOp := make(map[int]cpu.Result, len(ops)+1)
+			for _, op := range append([]dvfs.OperatingPoint{dvfs.Nominal()}, ops...) {
+				r, err := Run(RunSpec{
+					Scheme: DefectFree, Benchmark: bench, Op: op,
+					MapSeed: 0, WorkSeed: b.workSeed[bench],
+					Instructions: cfg.Instructions, CPU: cfg.CPU,
+				})
+				if err != nil {
+					errCh <- fmt.Errorf("baseline %s@%v: %w", bench, op, err)
+					return
+				}
+				perOp[op.VoltageMV] = r
+			}
+			conv, err := Run(RunSpec{
+				Scheme: Conventional, Benchmark: bench, Op: dvfs.Nominal(),
+				MapSeed: 0, WorkSeed: b.workSeed[bench],
+				Instructions: cfg.Instructions, CPU: cfg.CPU,
+			})
+			if err != nil {
+				errCh <- fmt.Errorf("EPI baseline %s: %w", bench, err)
+				return
+			}
+			mu.Lock()
+			b.defectFree[bench] = perOp
+			b.epi[bench] = conv
+			mu.Unlock()
+		}(bench)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+		return b, nil
+	}
+}
+
+// benchSamples holds one benchmark's Monte Carlo vectors for a cell.
+type benchSamples struct {
+	rt, l2k, epi          []float64
+	base, l1c, mem, total float64
+	yieldFails            int
+}
+
+func evalCell(cfg Config, s Scheme, op dvfs.OperatingPoint, benchmarks []string, base *baselines) (EvalCell, error) {
+	model := energy.DefaultModel()
+	factor := L1StaticFactor(s)
+
+	results := make([]benchSamples, len(benchmarks))
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(benchmarks))
+	for bi, bench := range benchmarks {
+		wg.Add(1)
+		go func(bi int, bench string) {
+			defer wg.Done()
+			var bs benchSamples
+			df := base.defectFree[bench][op.VoltageMV]
+			epiBase := base.epi[bench]
+			for m := 0; m < cfg.MaxMaps; m++ {
+				mapSeed := cfg.Seed*100_000 + int64(bi)*1000 + int64(m)
+				r, err := Run(RunSpec{
+					Scheme: s, Benchmark: bench, Op: op,
+					MapSeed: mapSeed, WorkSeed: base.workSeed[bench],
+					Instructions: cfg.Instructions, CPU: cfg.CPU,
+				})
+				if err != nil {
+					if errors.Is(err, ErrYield) {
+						bs.yieldFails++
+						continue
+					}
+					errCh <- fmt.Errorf("%s/%s@%v map %d: %w", s, bench, op, m, err)
+					return
+				}
+				norm, err := model.Normalized(r, op, factor, epiBase)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				bs.rt = append(bs.rt, r.Cycles()/df.Cycles())
+				bs.l2k = append(bs.l2k, r.L2PerKiloInstr())
+				bs.epi = append(bs.epi, norm)
+				bs.base += r.BaseCycles
+				bs.l1c += r.L1Cycles
+				bs.mem += r.MemCycles
+				bs.total += r.Cycles()
+				if len(bs.rt) >= cfg.MinMaps && cfg.Margin > 0 && stats.Converged(bs.rt, cfg.Margin) {
+					break
+				}
+			}
+			results[bi] = bs
+			errCh <- nil
+		}(bi, bench)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		if err != nil {
+			return EvalCell{}, err
+		}
+	}
+
+	cell := EvalCell{Scheme: s, VoltageMV: op.VoltageMV}
+	var rtMeans, epiMeans, l2kMeans []float64
+	var baseSum, l1Sum, memSum, totalSum float64
+	for _, bs := range results {
+		cell.YieldFails += bs.yieldFails
+		cell.Samples += len(bs.rt)
+		if len(bs.rt) == 0 {
+			continue
+		}
+		rtMeans = append(rtMeans, stats.Mean(bs.rt))
+		epiMeans = append(epiMeans, stats.Mean(bs.epi))
+		l2kMeans = append(l2kMeans, stats.Mean(bs.l2k))
+		if moe := stats.MarginOfError(bs.rt); moe > cell.RuntimeMoE && len(bs.rt) > 1 {
+			cell.RuntimeMoE = moe
+		}
+		baseSum += bs.base
+		l1Sum += bs.l1c
+		memSum += bs.mem
+		totalSum += bs.total
+	}
+	if len(rtMeans) > 0 {
+		cell.NormRuntime = stats.Mean(rtMeans)
+		cell.L2PerKilo = stats.Mean(l2kMeans)
+		cell.NormEPI = stats.GeoMean(epiMeans)
+	}
+	if totalSum > 0 {
+		cell.BaseShare = baseSum / totalSum
+		cell.L1Share = l1Sum / totalSum
+		cell.MemShare = memSum / totalSum
+	}
+	return cell, nil
+}
+
+// CellFor finds a cell by scheme and voltage.
+func CellFor(cells []EvalCell, s Scheme, voltageMV int) (EvalCell, bool) {
+	for _, c := range cells {
+		if c.Scheme == s && c.VoltageMV == voltageMV {
+			return c, true
+		}
+	}
+	return EvalCell{}, false
+}

@@ -1,0 +1,168 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+
+	"repro/internal/bbr"
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/dvfs"
+	"repro/internal/energy"
+	"repro/internal/faultmap"
+	"repro/internal/program"
+	"repro/internal/workload"
+)
+
+// DieSweep evaluates one scheme on one *die* across the whole DVFS
+// ladder: the fault maps at the different voltages come from a single
+// nested random draw (faultmap.Series), so a word that fails at 560 mV is
+// also failing at every lower point — exactly how a physical part
+// degrades as it is scaled. This is the right tool for questions like
+// "what is the energy-optimal operating point for THIS chip on THIS
+// workload", which independent per-voltage maps would answer with
+// inconsistent hardware.
+type DieSweep struct {
+	Scheme    Scheme
+	Benchmark string
+	Points    []DiePoint
+}
+
+// DiePoint is one operating point of a die sweep.
+type DiePoint struct {
+	Op      dvfs.OperatingPoint
+	Result  cpu.Result
+	NormEPI float64 // vs the same die's conventional run at 760 mV
+	// Yield reports whether the scheme covered this die at this point
+	// (false means the die must not be scaled this low under this
+	// scheme; Result/NormEPI are zero).
+	Yield bool
+}
+
+// SweepDie runs scheme × benchmark at every low-voltage operating point
+// of one die (identified by dieSeed), plus the 760 mV conventional
+// baseline used for EPI normalization.
+func SweepDie(scheme Scheme, benchmark string, dieSeed, workSeed int64, instructions uint64, cfg cpu.Config) (*DieSweep, error) {
+	prof, err := workload.ByName(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	if instructions == 0 {
+		return nil, errors.New("sim: zero instructions")
+	}
+	if scheme == SECDEDScheme {
+		// SECDED sees second-order (>=2-bit) failures, which need a
+		// different nested threshold than the per-word minimum the Series
+		// tracks; die sweeps do not support it.
+		return nil, errors.New("sim: SECDED is not supported in die sweeps")
+	}
+
+	// One nested series per cache of this die.
+	seriesI := faultmap.NewSeries(l1Words, rand.New(rand.NewSource(dieSeed*2+11)))
+	seriesD := faultmap.NewSeries(l1Words, rand.New(rand.NewSource(dieSeed*2+12)))
+
+	baseline, err := Run(RunSpec{
+		Scheme: Conventional, Benchmark: benchmark, Op: dvfs.Nominal(),
+		WorkSeed: workSeed, Instructions: instructions, CPU: cfg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	model := energy.DefaultModel()
+	factor := L1StaticFactor(scheme)
+
+	sweep := &DieSweep{Scheme: scheme, Benchmark: benchmark}
+	for _, op := range dvfs.LowVoltagePoints() {
+		fmI := seriesI.MapAt(op.PfailBit)
+		fmD := seriesD.MapAt(op.PfailBit)
+		r, err := runWithMaps(scheme, prof, op, fmI, fmD, workSeed, instructions, cfg)
+		if errors.Is(err, ErrYield) {
+			sweep.Points = append(sweep.Points, DiePoint{Op: op})
+			continue
+		}
+		if err != nil {
+			return nil, err
+		}
+		norm, err := model.Normalized(r, op, factor, baseline)
+		if err != nil {
+			return nil, err
+		}
+		sweep.Points = append(sweep.Points, DiePoint{Op: op, Result: r, NormEPI: norm, Yield: true})
+	}
+	return sweep, nil
+}
+
+// runWithMaps is Run with caller-supplied fault maps (used by die sweeps,
+// which need voltage-nested maps rather than independent draws).
+func runWithMaps(scheme Scheme, prof workload.Profile, op dvfs.OperatingPoint,
+	fmI, fmD *faultmap.Map, workSeed int64, instructions uint64, cfg cpu.Config) (cpu.Result, error) {
+
+	next := core.NewNextLevel(core.MemLatencyCycles(op.FreqMHz))
+	var prog *program.Program
+	var layout program.Layout
+	var err error
+	if scheme == FFWBBR {
+		prog, err = workload.BuildProgram(prof, workSeed, func(p *program.Program) (*program.Program, error) {
+			t, _, terr := bbr.Transform(p, bbr.DefaultTransformConfig())
+			return t, terr
+		})
+		if err != nil {
+			return cpu.Result{}, err
+		}
+		pl, lerr := bbr.Link(prog, fmI, 0)
+		if lerr != nil {
+			if errors.Is(lerr, bbr.ErrUnplaceable) {
+				return cpu.Result{}, fmt.Errorf("%w: %v", ErrYield, lerr)
+			}
+			return cpu.Result{}, lerr
+		}
+		layout = pl
+	} else {
+		prog, err = workload.BuildProgram(prof, workSeed, nil)
+		if err != nil {
+			return cpu.Result{}, err
+		}
+		layout = program.NewSequentialLayout(prog, 0)
+	}
+
+	spec := RunSpec{Scheme: scheme, Op: op, CPU: cfg}
+	ic, dc, err := buildCaches(spec, fmI, fmD, next)
+	if err != nil {
+		return cpu.Result{}, err
+	}
+	stream := workload.NewStream(prof, prog, layout, workSeed)
+	return cpu.Run(cfg, stream, ic, dc, next, instructions)
+}
+
+// OptimalPoint returns the sweep's energy-minimal legal operating point,
+// or false when the scheme covered no point.
+func (s *DieSweep) OptimalPoint() (DiePoint, bool) {
+	best := DiePoint{}
+	found := false
+	for _, p := range s.Points {
+		if !p.Yield {
+			continue
+		}
+		if !found || p.NormEPI < best.NormEPI {
+			best, found = p, true
+		}
+	}
+	return best, found
+}
+
+// MonotoneDefects reports whether the die's defect exposure grows
+// monotonically as voltage falls — a sanity check on the nested maps,
+// exposed for tests.
+func MonotoneDefects(dieSeed int64) bool {
+	series := faultmap.NewSeries(l1Words, rand.New(rand.NewSource(dieSeed)))
+	prev := -1
+	for _, op := range dvfs.LowVoltagePoints() {
+		n := series.MapAt(op.PfailBit).CountDefective()
+		if n < prev {
+			return false
+		}
+		prev = n
+	}
+	return true
+}

@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/cpu"
+)
+
+func TestSweepDieBasics(t *testing.T) {
+	s, err := SweepDie(FFWBBR, "basicmath", 3, 3, 30_000, cpu.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Points) != 5 {
+		t.Fatalf("points = %d, want 5", len(s.Points))
+	}
+	for _, p := range s.Points {
+		if !p.Yield {
+			t.Errorf("FFW+BBR should cover basicmath at %v", p.Op)
+			continue
+		}
+		if p.NormEPI <= 0 || p.NormEPI >= 1 {
+			t.Errorf("NormEPI at %v = %v, want in (0,1)", p.Op, p.NormEPI)
+		}
+	}
+	best, ok := s.OptimalPoint()
+	if !ok {
+		t.Fatal("no optimal point")
+	}
+	for _, p := range s.Points {
+		if p.Yield && p.NormEPI < best.NormEPI {
+			t.Error("OptimalPoint is not minimal")
+		}
+	}
+}
+
+func TestSweepDieDefectsGrowMonotonically(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		if !MonotoneDefects(seed) {
+			t.Errorf("seed %d: nested maps lost monotonicity", seed)
+		}
+	}
+}
+
+func TestSweepDieCyclesGrowAsVoltageFalls(t *testing.T) {
+	// On one die, deeper scaling can only add defects, so a scheme's
+	// cycle count (same work) should not decrease from 560 mV to 400 mV
+	// by more than noise.
+	s, err := SweepDie(SimpleWdis, "dijkstra", 7, 7, 30_000, cpu.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := s.Points[0].Result.Cycles()
+	last := s.Points[len(s.Points)-1].Result.Cycles()
+	if last < first {
+		t.Errorf("cycles fell from %v to %v as defects grew", first, last)
+	}
+}
+
+func TestSweepDieValidation(t *testing.T) {
+	if _, err := SweepDie(FFWBBR, "nope", 1, 1, 100, cpu.DefaultConfig()); err == nil {
+		t.Error("unknown benchmark must error")
+	}
+	if _, err := SweepDie(FFWBBR, "adpcm", 1, 1, 0, cpu.DefaultConfig()); err == nil {
+		t.Error("zero instructions must error")
+	}
+	if _, err := SweepDie(SECDEDScheme, "adpcm", 1, 1, 100, cpu.DefaultConfig()); err == nil {
+		t.Error("SECDED die sweeps must be rejected")
+	}
+}
+
+func TestSweepDieDeterministic(t *testing.T) {
+	a, err := SweepDie(FFWBBR, "adpcm", 9, 9, 20_000, cpu.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SweepDie(FFWBBR, "adpcm", 9, 9, 20_000, cpu.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Points {
+		if a.Points[i].Result != b.Points[i].Result {
+			t.Fatalf("point %d differs between identical sweeps", i)
+		}
+	}
+}

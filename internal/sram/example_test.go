@@ -1,0 +1,36 @@
+package sram_test
+
+import (
+	"fmt"
+
+	"repro/internal/sram"
+)
+
+// The paper's central reliability numbers at the deepest operating point:
+// a per-bit failure probability of 1e-2 makes 27.5% of words and 92.4%
+// of blocks defective, and pins the conventional cache at 760 mV.
+func ExampleModel_PfailWord() {
+	m := sram.NewModel()
+	fmt.Printf("word: %.3f  block: %.3f\n",
+		m.PfailWord(sram.Cell6T, 400), m.PfailBlock(sram.Cell6T, 400))
+	// Output:
+	// word: 0.275  block: 0.924
+}
+
+// Vccmin: the lowest voltage at which a 32 KB array still meets the
+// 99.9% manufacturing yield target.
+func ExampleModel_VccminMV() {
+	m := sram.NewModel()
+	fmt.Printf("conventional 6T: %.0f mV\n",
+		m.VccminMV(sram.Cell6T, sram.Cache32KBBits, sram.TargetYield))
+	// Output:
+	// conventional 6T: 760 mV
+}
+
+// GroupFail aggregates independent bit failures: any failing bit kills
+// the word.
+func ExampleGroupFail() {
+	fmt.Printf("%.4f\n", sram.GroupFail(0.01, 32))
+	// Output:
+	// 0.2750
+}

@@ -1,0 +1,321 @@
+// Package sram models SRAM cell failure under voltage scaling and process
+// variation (Section II of the paper).
+//
+// Random dopant fluctuation gives neighbouring transistors independent
+// Gaussian threshold-voltage offsets; as the supply voltage drops, noise
+// margins shrink and the per-cell failure probability Pfail rises
+// exponentially. The package provides:
+//
+//   - a continuous per-bit Pfail(V) curve for 6T and 8T cells, calibrated
+//     so that (a) the paper's Table II values are matched closely in the
+//     region of interest and (b) the conventional Vccmin of a 32 KB 6T
+//     array at 99.9% yield is exactly 760 mV;
+//   - granularity aggregation (bit → 4 B word → 32 B block → array),
+//     reproducing Figure 2;
+//   - a yield model and a Vccmin solver.
+//
+// At the six tabulated DVFS operating points the fault-map generator uses
+// the exact Table II probabilities (see package dvfs); the continuous
+// curve here serves Figure 2, continuous yield queries and the Vccmin
+// solver, and agrees with Table II to within 0.15 decades.
+package sram
+
+import (
+	"fmt"
+	"math"
+)
+
+// CellType selects the SRAM cell topology.
+type CellType int
+
+const (
+	// Cell6T is the conventional 6-transistor cell used for L1 data
+	// arrays: smallest area, but read stability degrades quickly at low
+	// voltage.
+	Cell6T CellType = iota
+	// Cell8T is the robust 8-transistor cell (Chang et al. [6]) with a
+	// decoupled read port. The paper uses it for tag arrays and the
+	// fault-tolerance side structures; it operates a 32 KB array reliably
+	// at 400 mV at the cost of ~30% cell area.
+	Cell8T
+)
+
+// String implements fmt.Stringer.
+func (c CellType) String() string {
+	switch c {
+	case Cell6T:
+		return "6T"
+	case Cell8T:
+		return "8T"
+	default:
+		return fmt.Sprintf("CellType(%d)", int(c))
+	}
+}
+
+// FailureMode enumerates the SRAM failure mechanisms of Section II-A.
+type FailureMode int
+
+const (
+	// ReadFailure: read-disturb flips the stored value when the voltage
+	// bump on the internal node exceeds the inverter switching point.
+	ReadFailure FailureMode = iota
+	// WriteFailure: the pass transistor cannot overpower the pull-up, so
+	// the cell content fails to toggle.
+	WriteFailure
+	// AccessFailure: the bitline differential developed within the sense
+	// window is too small for the sense amplifier.
+	AccessFailure
+	// HoldFailure: the cell loses state on a standby voltage droop.
+	HoldFailure
+)
+
+// String implements fmt.Stringer.
+func (m FailureMode) String() string {
+	switch m {
+	case ReadFailure:
+		return "read"
+	case WriteFailure:
+		return "write"
+	case AccessFailure:
+		return "access"
+	case HoldFailure:
+		return "hold"
+	default:
+		return fmt.Sprintf("FailureMode(%d)", int(m))
+	}
+}
+
+// Modes lists all failure modes.
+func Modes() []FailureMode {
+	return []FailureMode{ReadFailure, WriteFailure, AccessFailure, HoldFailure}
+}
+
+// Geometry constants used by the granularity helpers.
+const (
+	WordBits   = 32 // the paper addresses caches at 32-bit word granularity
+	BlockBytes = 32 // 32 B cache blocks (Table I)
+	BlockBits  = BlockBytes * 8
+)
+
+// TargetYield is the paper's manufacturing yield requirement: 999 of every
+// 1000 dies must be fault-free.
+const TargetYield = 0.999
+
+// ConventionalVccminMV is the Vccmin of a conventional 6T 32 KB cache at
+// TargetYield in 45 nm: the energy baseline of the whole paper.
+const ConventionalVccminMV = 760
+
+// Cache32KBBits is the number of data bits in a 32 KB cache array.
+const Cache32KBBits = 32 * 1024 * 8
+
+// Model is a calibrated failure-probability model. The zero value is not
+// usable; construct with NewModel.
+type Model struct {
+	// log10 Pfail(V) for the 6T cell is the Newton-form cubic through the
+	// four calibration anchors; coeffs/knots hold the divided differences
+	// and anchor abscissae, V in volts.
+	coeffs [4]float64
+	knots  [3]float64
+	// shift8T is the voltage headroom of the 8T cell: an 8T cell at V
+	// fails like a 6T cell at V+shift8T. Calibrated so a 32 KB 8T array
+	// meets TargetYield at 400 mV, per the paper's use of 8T tag arrays
+	// at that voltage.
+	shift8T float64
+	// modeShare splits Pfail across failure modes for BIST
+	// classification. Read/access failures dominate at low voltage.
+	modeShare [4]float64
+	// tempC is the junction temperature. The calibration anchors hold at
+	// the reference 85°C corner; each degree above it erodes noise
+	// margins like tempCoeffMV of supply (the paper notes Pfail is "a
+	// function of supply voltage, temperature and transistor size").
+	tempC       float64
+	tempCoeffMV float64
+}
+
+// RefTempC is the reference junction temperature of the calibration (a
+// hot embedded corner).
+const RefTempC = 85
+
+// NewModel returns the default 45 nm calibration.
+//
+// The 6T curve is the Newton-form cubic through four anchors:
+//
+//	Pfail(400 mV) = 1e-2, Pfail(480 mV) = 1e-3, Pfail(560 mV) = 1e-4
+//	                (Table II values in the region of interest)
+//	Pfail(760 mV) = the largest per-bit probability at which a 32 KB
+//	                array still meets the 99.9% yield target
+//
+// so VccminMV(Cell6T, Cache32KBBits, TargetYield) == 760 exactly by
+// construction, and the curve is within 0.02 decades of Table II at the
+// remaining interior points (520 and 440 mV).
+func NewModel() *Model {
+	// Yield-target anchor at 760 mV: (1-p)^N >= y  =>  p = 1 - y^(1/N).
+	p760 := 1 - math.Pow(TargetYield, 1.0/float64(Cache32KBBits))
+
+	xs := [4]float64{0.400, 0.480, 0.560, 0.760}
+	ys := [4]float64{-2, -3, -4, math.Log10(p760)}
+	coeffs := newtonCoeffs(xs, ys)
+
+	return &Model{
+		coeffs: coeffs,
+		knots:  [3]float64{xs[0], xs[1], xs[2]},
+		// 8T at 400 mV behaves like 6T slightly above 760 mV: the
+		// decoupled read port removes the dominant read-stability failure
+		// mode. 365 mV of headroom keeps a 32 KB 8T array above the 99.9%
+		// yield target at 400 mV with margin.
+		shift8T: 0.365,
+		// Low-voltage failure Pareto: read-disturb and access-time
+		// failures dominate; write and hold are minor contributors.
+		modeShare: [4]float64{0.45, 0.20, 0.30, 0.05},
+		tempC:     RefTempC,
+		// ~0.3 mV of effective supply per °C: a 60° swing moves Vccmin by
+		// ~18 mV, in line with published hot/cold Vccmin spreads.
+		tempCoeffMV: 0.3,
+	}
+}
+
+// AtTemperature returns a copy of the model evaluated at the given
+// junction temperature (°C). At RefTempC the copy is identical to the
+// original.
+func (m *Model) AtTemperature(tempC float64) *Model {
+	c := *m
+	c.tempC = tempC
+	return &c
+}
+
+// Temperature returns the model's junction temperature in °C.
+func (m *Model) Temperature() float64 { return m.tempC }
+
+// newtonCoeffs returns the divided-difference coefficients of the cubic
+// interpolating (xs[i], ys[i]).
+func newtonCoeffs(xs, ys [4]float64) [4]float64 {
+	d := ys
+	for level := 1; level < 4; level++ {
+		for i := 3; i >= level; i-- {
+			d[i] = (d[i] - d[i-1]) / (xs[i] - xs[i-level])
+		}
+	}
+	return d
+}
+
+// PfailBit returns the per-bit failure probability of the given cell type
+// at the given supply voltage. The result is clamped to [0, 1].
+func (m *Model) PfailBit(cell CellType, voltageMV float64) float64 {
+	// Temperature above the reference corner erodes margin like a supply
+	// droop; below it, adds margin.
+	voltageMV -= m.tempCoeffMV * (m.tempC - RefTempC)
+	v := voltageMV / 1000
+	if cell == Cell8T {
+		v += m.shift8T
+	}
+	// Horner evaluation of the Newton-form cubic.
+	log10p := m.coeffs[3]
+	for i := 2; i >= 0; i-- {
+		log10p = log10p*(v-m.knots[i]) + m.coeffs[i]
+	}
+	p := math.Pow(10, log10p)
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// PfailGroup returns the probability that a group of bits contains at
+// least one failing bit: 1 - (1-p)^bits. Bit failures are independent
+// (random dopant fluctuation is modelled as i.i.d. Gaussian Vth shifts).
+func (m *Model) PfailGroup(cell CellType, voltageMV float64, bits int) float64 {
+	p := m.PfailBit(cell, voltageMV)
+	return GroupFail(p, bits)
+}
+
+// GroupFail returns 1-(1-p)^bits, computed stably for tiny p.
+func GroupFail(p float64, bits int) float64 {
+	if p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return 1
+	}
+	// 1-(1-p)^n = -expm1(n*log1p(-p)).
+	return -math.Expm1(float64(bits) * math.Log1p(-p))
+}
+
+// PfailWord returns the failure probability of a 4 B word.
+func (m *Model) PfailWord(cell CellType, voltageMV float64) float64 {
+	return m.PfailGroup(cell, voltageMV, WordBits)
+}
+
+// PfailBlock returns the failure probability of a 32 B cache block.
+func (m *Model) PfailBlock(cell CellType, voltageMV float64) float64 {
+	return m.PfailGroup(cell, voltageMV, BlockBits)
+}
+
+// Yield returns the probability that an array of arrayBits contains no
+// failing cell at the given voltage — the paper's chip-yield criterion
+// ("a die that contains even a single cell failure must be discarded").
+func (m *Model) Yield(cell CellType, voltageMV float64, arrayBits int) float64 {
+	return 1 - m.PfailGroup(cell, voltageMV, arrayBits)
+}
+
+// VccminMV returns the minimum supply voltage (in millivolts) at which an
+// array of arrayBits still meets targetYield, found by bisection on the
+// monotone yield curve. The search window is [200 mV, 1200 mV]; voltages
+// outside it are clamped.
+func (m *Model) VccminMV(cell CellType, arrayBits int, targetYield float64) float64 {
+	lo, hi := 200.0, 1200.0
+	if m.Yield(cell, hi, arrayBits) < targetYield {
+		return hi
+	}
+	if m.Yield(cell, lo, arrayBits) >= targetYield {
+		return lo
+	}
+	for i := 0; i < 60; i++ {
+		mid := (lo + hi) / 2
+		if m.Yield(cell, mid, arrayBits) >= targetYield {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}
+
+// ModeShare returns the fraction of cell failures attributed to the given
+// mode; the shares sum to 1. Used by the BIST simulation to classify
+// defects.
+func (m *Model) ModeShare(mode FailureMode) float64 {
+	if mode < 0 || int(mode) >= len(m.modeShare) {
+		return 0
+	}
+	return m.modeShare[mode]
+}
+
+// GranularityPoint is one sample of Figure 2: the failure probability of a
+// bit, word, block and whole 32 KB array at one voltage.
+type GranularityPoint struct {
+	VoltageMV float64
+	Bit       float64
+	Word      float64 // 4 B
+	Block     float64 // 32 B
+	Cache32KB float64
+}
+
+// GranularityCurve samples Pfail at every granularity over
+// [fromMV, toMV] in stepMV increments (inclusive of endpoints when they
+// align), reproducing Figure 2 for the given cell type.
+func (m *Model) GranularityCurve(cell CellType, fromMV, toMV, stepMV float64) []GranularityPoint {
+	if stepMV <= 0 || toMV < fromMV {
+		return nil
+	}
+	var out []GranularityPoint
+	for v := fromMV; v <= toMV+1e-9; v += stepMV {
+		out = append(out, GranularityPoint{
+			VoltageMV: v,
+			Bit:       m.PfailBit(cell, v),
+			Word:      m.PfailWord(cell, v),
+			Block:     m.PfailBlock(cell, v),
+			Cache32KB: m.PfailGroup(cell, v, Cache32KBBits),
+		})
+	}
+	return out
+}

@@ -1,0 +1,301 @@
+package sram
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dvfs"
+)
+
+func TestAnchorsMatchTableII(t *testing.T) {
+	m := NewModel()
+	// The curve passes through the Table II endpoints exactly.
+	if got := m.PfailBit(Cell6T, 400); math.Abs(math.Log10(got)-(-2)) > 1e-9 {
+		t.Errorf("Pfail(400mV) = %.3e, want 1e-2", got)
+	}
+	if got := m.PfailBit(Cell6T, 560); math.Abs(math.Log10(got)-(-4)) > 1e-9 {
+		t.Errorf("Pfail(560mV) = %.3e, want 1e-4", got)
+	}
+}
+
+func TestInteriorPointsNearTableII(t *testing.T) {
+	// At the interior DVFS points the smooth curve agrees with Table II to
+	// within 0.05 decades (documented tolerance; fault maps use the exact
+	// table values).
+	m := NewModel()
+	for _, p := range dvfs.LowVoltagePoints() {
+		got := math.Log10(m.PfailBit(Cell6T, float64(p.VoltageMV)))
+		want := math.Log10(p.PfailBit)
+		if math.Abs(got-want) > 0.05 {
+			t.Errorf("log10 Pfail(%dmV) = %.3f, table %.3f (drift > 0.05 decades)", p.VoltageMV, got, want)
+		}
+	}
+}
+
+func TestConventionalVccminIs760(t *testing.T) {
+	m := NewModel()
+	got := m.VccminMV(Cell6T, Cache32KBBits, TargetYield)
+	if math.Abs(got-760) > 0.5 {
+		t.Errorf("Vccmin(6T, 32KB, 99.9%%) = %.2f mV, want 760", got)
+	}
+}
+
+func Test8TMeetsYieldAt400(t *testing.T) {
+	// The paper's tag arrays and side structures use 8T cells and operate
+	// at 400 mV; the 8T Vccmin for a 32 KB array must be <= 400 mV.
+	m := NewModel()
+	got := m.VccminMV(Cell8T, Cache32KBBits, TargetYield)
+	if got > 400.5 {
+		t.Errorf("Vccmin(8T, 32KB) = %.2f mV, want <= 400", got)
+	}
+	if y := m.Yield(Cell8T, 400, Cache32KBBits); y < TargetYield {
+		t.Errorf("Yield(8T, 400mV, 32KB) = %v, want >= %v", y, TargetYield)
+	}
+}
+
+func TestPfailMonotoneDecreasingInVoltage(t *testing.T) {
+	m := NewModel()
+	for _, cell := range []CellType{Cell6T, Cell8T} {
+		prev := m.PfailBit(cell, 350)
+		for v := 360.0; v <= 900; v += 10 {
+			cur := m.PfailBit(cell, v)
+			if cur > prev {
+				t.Fatalf("%v Pfail not monotone at %vmV: %v > %v", cell, v, cur, prev)
+			}
+			prev = cur
+		}
+	}
+}
+
+func Test8TStrictlyMoreRobust(t *testing.T) {
+	m := NewModel()
+	for v := 350.0; v <= 800; v += 50 {
+		p6, p8 := m.PfailBit(Cell6T, v), m.PfailBit(Cell8T, v)
+		if p8 >= p6 {
+			t.Errorf("at %vmV Pfail(8T)=%v >= Pfail(6T)=%v", v, p8, p6)
+		}
+	}
+}
+
+func TestGranularityOrdering(t *testing.T) {
+	// Figure 2: cache > block > word > bit at every voltage, because each
+	// coarser granularity is a union of failure events.
+	m := NewModel()
+	for _, p := range m.GranularityCurve(Cell6T, 350, 900, 25) {
+		if !(p.Bit <= p.Word && p.Word <= p.Block && p.Block <= p.Cache32KB) {
+			t.Errorf("granularity ordering violated at %vmV: %+v", p.VoltageMV, p)
+		}
+	}
+}
+
+func TestWordFailureAt400mV(t *testing.T) {
+	// At 400 mV with per-bit Pfail 1e-2, a 4 B word is defective with
+	// probability 1-(0.99)^32 ≈ 27.5% — this drives the whole evaluation.
+	m := NewModel()
+	got := m.PfailWord(Cell6T, 400)
+	want := 1 - math.Pow(0.99, 32)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("PfailWord(400mV) = %v, want %v", got, want)
+	}
+	// And a 32 B block is almost always faulty (~92%).
+	if b := m.PfailBlock(Cell6T, 400); b < 0.9 {
+		t.Errorf("PfailBlock(400mV) = %v, want > 0.9", b)
+	}
+}
+
+func TestGroupFail(t *testing.T) {
+	tests := []struct {
+		p    float64
+		bits int
+		want float64
+	}{
+		{0, 32, 0},
+		{1, 32, 1},
+		{0.5, 1, 0.5},
+		{0.5, 2, 0.75},
+		{0.01, 32, 1 - math.Pow(0.99, 32)},
+	}
+	for _, tt := range tests {
+		if got := GroupFail(tt.p, tt.bits); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("GroupFail(%v, %d) = %v, want %v", tt.p, tt.bits, got, tt.want)
+		}
+	}
+}
+
+func TestGroupFailTinyPStability(t *testing.T) {
+	// Stable for p far below float64 epsilon-per-term.
+	got := GroupFail(1e-15, 1000)
+	want := 1e-12 // ~n*p for tiny p
+	if math.Abs(got-want)/want > 1e-6 {
+		t.Errorf("GroupFail(1e-15, 1000) = %v, want ~%v", got, want)
+	}
+}
+
+func TestGroupFailProperties(t *testing.T) {
+	f := func(pRaw float64, bitsRaw uint16) bool {
+		p := math.Mod(math.Abs(pRaw), 1)
+		if math.IsNaN(p) {
+			return true
+		}
+		bits := int(bitsRaw%4096) + 1
+		g := GroupFail(p, bits)
+		if g < 0 || g > 1 {
+			return false
+		}
+		// More bits -> more likely to fail.
+		return GroupFail(p, bits+1) >= g-1e-15
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestYieldComplement(t *testing.T) {
+	m := NewModel()
+	v := 480.0
+	y := m.Yield(Cell6T, v, 1024)
+	pf := m.PfailGroup(Cell6T, v, 1024)
+	if math.Abs(y+pf-1) > 1e-12 {
+		t.Errorf("yield + groupfail = %v, want 1", y+pf)
+	}
+}
+
+func TestVccminMonotoneInArraySize(t *testing.T) {
+	// Larger arrays need higher voltage for the same yield.
+	m := NewModel()
+	small := m.VccminMV(Cell6T, 8*1024*8, TargetYield)
+	large := m.VccminMV(Cell6T, 256*1024*8, TargetYield)
+	if small >= large {
+		t.Errorf("Vccmin(8KB)=%v >= Vccmin(256KB)=%v", small, large)
+	}
+}
+
+func TestVccminClamps(t *testing.T) {
+	m := NewModel()
+	// Impossible yield target -> clamps high. (Target > 1 is used because
+	// at high voltage the group-failure probability underflows to exactly
+	// zero, making yield == 1.0 attainable.)
+	if got := m.VccminMV(Cell6T, Cache32KBBits, 1.1); got != 1200 {
+		t.Errorf("Vccmin for yield 1.1 = %v, want clamp 1200", got)
+	}
+	// Trivial target -> clamps low.
+	if got := m.VccminMV(Cell8T, 8, 0.0); got != 200 {
+		t.Errorf("Vccmin for yield 0 = %v, want clamp 200", got)
+	}
+}
+
+func TestModeSharesSumToOne(t *testing.T) {
+	m := NewModel()
+	sum := 0.0
+	for _, mode := range Modes() {
+		s := m.ModeShare(mode)
+		if s <= 0 {
+			t.Errorf("ModeShare(%v) = %v, want > 0", mode, s)
+		}
+		sum += s
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("mode shares sum to %v, want 1", sum)
+	}
+	if m.ModeShare(FailureMode(99)) != 0 {
+		t.Error("unknown mode should have zero share")
+	}
+}
+
+func TestGranularityCurveBounds(t *testing.T) {
+	m := NewModel()
+	if pts := m.GranularityCurve(Cell6T, 500, 400, 10); pts != nil {
+		t.Error("inverted range should yield nil")
+	}
+	if pts := m.GranularityCurve(Cell6T, 400, 500, 0); pts != nil {
+		t.Error("zero step should yield nil")
+	}
+	pts := m.GranularityCurve(Cell6T, 400, 500, 50)
+	if len(pts) != 3 {
+		t.Errorf("got %d points, want 3", len(pts))
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Cell6T.String() != "6T" || Cell8T.String() != "8T" {
+		t.Error("CellType.String broken")
+	}
+	if CellType(7).String() != "CellType(7)" {
+		t.Error("unknown CellType.String broken")
+	}
+	wantModes := map[FailureMode]string{
+		ReadFailure: "read", WriteFailure: "write", AccessFailure: "access", HoldFailure: "hold",
+	}
+	for mode, want := range wantModes {
+		if mode.String() != want {
+			t.Errorf("FailureMode(%d).String = %q, want %q", mode, mode.String(), want)
+		}
+	}
+	if FailureMode(9).String() != "FailureMode(9)" {
+		t.Error("unknown FailureMode.String broken")
+	}
+}
+
+func TestNewtonCoeffsInterpolate(t *testing.T) {
+	// The Newton cubic must pass through its four defining points.
+	xs := [4]float64{0, 1, 2, 4}
+	ys := [4]float64{1, 3, -2, 5}
+	c := newtonCoeffs(xs, ys)
+	eval := func(x float64) float64 {
+		v := c[3]
+		for i := 2; i >= 0; i-- {
+			v = v*(x-xs[i]) + c[i]
+		}
+		return v
+	}
+	for i := range xs {
+		if got := eval(xs[i]); math.Abs(got-ys[i]) > 1e-9 {
+			t.Errorf("cubic(%v) = %v, want %v", xs[i], got, ys[i])
+		}
+	}
+}
+
+func TestTemperatureDependence(t *testing.T) {
+	m := NewModel()
+	if m.Temperature() != RefTempC {
+		t.Fatalf("default temperature = %v, want %v", m.Temperature(), RefTempC)
+	}
+	// At the reference corner the temperature knob is a no-op: anchors
+	// hold exactly.
+	if got := m.AtTemperature(RefTempC).PfailBit(Cell6T, 400); got != m.PfailBit(Cell6T, 400) {
+		t.Error("AtTemperature(ref) changed the model")
+	}
+	// Hotter silicon fails more; colder less.
+	hot := m.AtTemperature(125)
+	cold := m.AtTemperature(25)
+	base := m.PfailBit(Cell6T, 480)
+	if hot.PfailBit(Cell6T, 480) <= base {
+		t.Error("125°C should raise Pfail")
+	}
+	if cold.PfailBit(Cell6T, 480) >= base {
+		t.Error("25°C should lower Pfail")
+	}
+	// Vccmin moves by roughly the coefficient times the swing: 40° ->
+	// ~12 mV.
+	vHot := hot.VccminMV(Cell6T, Cache32KBBits, TargetYield)
+	vBase := m.VccminMV(Cell6T, Cache32KBBits, TargetYield)
+	if shift := vHot - vBase; shift < 5 || shift > 25 {
+		t.Errorf("Vccmin shift at 125°C = %.1f mV, want ~12", shift)
+	}
+	if !(cold.VccminMV(Cell6T, Cache32KBBits, TargetYield) < vBase) {
+		t.Error("cold Vccmin should be lower")
+	}
+}
+
+func TestTemperatureMonotoneProperty(t *testing.T) {
+	m := NewModel()
+	prev := m.AtTemperature(-20).PfailBit(Cell6T, 500)
+	for tC := -10.0; tC <= 125; tC += 5 {
+		cur := m.AtTemperature(tC).PfailBit(Cell6T, 500)
+		if cur < prev {
+			t.Fatalf("Pfail not monotone in temperature at %v°C", tC)
+		}
+		prev = cur
+	}
+}

@@ -1,0 +1,121 @@
+// Package trace measures data-access locality the way the paper's
+// Figure 3 does (method from [24]): execution is cut into fixed intervals
+// of 10,000 instructions; within each interval, spatial locality is the
+// fraction of each touched cache block's words that were actually used,
+// and the word-reuse rate is the fraction of accesses that repeat an
+// already-touched word.
+package trace
+
+import (
+	"repro/internal/cache"
+	"repro/internal/stats"
+)
+
+// IntervalInstrs is the paper's interval length in instructions.
+const IntervalInstrs = 10000
+
+// IntervalStats summarizes one interval.
+type IntervalStats struct {
+	// SpatialLocality is (sum over touched blocks of unique words) /
+	// (8 * touched blocks) — "the ratio of data which the application
+	// actually uses to the total cache line size".
+	SpatialLocality float64
+	// ReuseRate is (accesses - unique words) / accesses — "the ratio of
+	// the repeated accesses on unique words to the sum of the word
+	// accesses".
+	ReuseRate float64
+	// Accesses is the number of data accesses observed in the interval.
+	Accesses int
+}
+
+// Analyzer accumulates per-interval locality metrics. Drive it with
+// Tick once per instruction and Observe once per data access; completed
+// intervals accumulate into the analyzer's summary.
+type Analyzer struct {
+	interval int // instructions per interval
+
+	instrs   int
+	accesses int
+	words    map[uint64]int // word address -> hits this interval
+
+	done []IntervalStats
+}
+
+// NewAnalyzer creates an analyzer with the paper's 10k-instruction
+// intervals. intervalInstrs <= 0 selects the default.
+func NewAnalyzer(intervalInstrs int) *Analyzer {
+	if intervalInstrs <= 0 {
+		intervalInstrs = IntervalInstrs
+	}
+	return &Analyzer{interval: intervalInstrs, words: make(map[uint64]int)}
+}
+
+// Tick advances one instruction, closing the interval at the boundary.
+func (a *Analyzer) Tick() {
+	a.instrs++
+	if a.instrs >= a.interval {
+		a.closeInterval()
+	}
+}
+
+// Observe records one data access (byte address).
+func (a *Analyzer) Observe(addr uint64) {
+	a.accesses++
+	a.words[cache.WordAddr(addr)]++
+}
+
+func (a *Analyzer) closeInterval() {
+	if a.accesses > 0 {
+		blocks := make(map[uint64]int)
+		for w := range a.words {
+			blocks[w/cache.WordsPerBlock]++
+		}
+		uniqueWords := len(a.words)
+		sumWords := 0
+		for _, n := range blocks {
+			sumWords += n
+		}
+		a.done = append(a.done, IntervalStats{
+			SpatialLocality: float64(sumWords) / float64(cache.WordsPerBlock*len(blocks)),
+			ReuseRate:       float64(a.accesses-uniqueWords) / float64(a.accesses),
+			Accesses:        a.accesses,
+		})
+	}
+	a.instrs = 0
+	a.accesses = 0
+	a.words = make(map[uint64]int)
+}
+
+// Intervals returns the completed intervals so far.
+func (a *Analyzer) Intervals() []IntervalStats { return a.done }
+
+// Summary aggregates the completed intervals: mean spatial locality and
+// reuse rate, plus Figure 3-style normalized histograms (10 bins over
+// [0,1]).
+type Summary struct {
+	Intervals   int
+	MeanSpatial float64
+	MeanReuse   float64
+	SpatialHist []float64 // normalized, 10 bins over [0,1]
+	ReuseHist   []float64
+}
+
+// Summarize folds the completed intervals into a Summary.
+func (a *Analyzer) Summarize() Summary {
+	sh := stats.NewHistogram(0, 1.0000001, 10)
+	rh := stats.NewHistogram(0, 1.0000001, 10)
+	var sp, ru []float64
+	for _, iv := range a.done {
+		sh.Add(iv.SpatialLocality)
+		rh.Add(iv.ReuseRate)
+		sp = append(sp, iv.SpatialLocality)
+		ru = append(ru, iv.ReuseRate)
+	}
+	return Summary{
+		Intervals:   len(a.done),
+		MeanSpatial: stats.Mean(sp),
+		MeanReuse:   stats.Mean(ru),
+		SpatialHist: sh.Normalized(),
+		ReuseHist:   rh.Normalized(),
+	}
+}

@@ -1,0 +1,160 @@
+package trace
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/program"
+	"repro/internal/workload"
+)
+
+func TestAnalyzerSingleInterval(t *testing.T) {
+	a := NewAnalyzer(4)
+	// One block, words 0 and 1; word 0 accessed twice.
+	a.Observe(0x00)
+	a.Observe(0x00)
+	a.Observe(0x04)
+	for i := 0; i < 4; i++ {
+		a.Tick()
+	}
+	ivs := a.Intervals()
+	if len(ivs) != 1 {
+		t.Fatalf("intervals = %d, want 1", len(ivs))
+	}
+	iv := ivs[0]
+	if got, want := iv.SpatialLocality, 2.0/8.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("spatial = %v, want %v", got, want)
+	}
+	if got, want := iv.ReuseRate, 1.0/3.0; math.Abs(got-want) > 1e-12 {
+		t.Errorf("reuse = %v, want %v", got, want)
+	}
+	if iv.Accesses != 3 {
+		t.Errorf("accesses = %d", iv.Accesses)
+	}
+}
+
+func TestAnalyzerSkipsEmptyIntervals(t *testing.T) {
+	a := NewAnalyzer(2)
+	for i := 0; i < 10; i++ {
+		a.Tick()
+	}
+	if len(a.Intervals()) != 0 {
+		t.Error("intervals without accesses must be skipped")
+	}
+}
+
+func TestAnalyzerMultiBlock(t *testing.T) {
+	a := NewAnalyzer(2)
+	// Block 0: 8 distinct words; block 1: 1 word. Spatial = 9/16.
+	for w := 0; w < 8; w++ {
+		a.Observe(uint64(4 * w))
+	}
+	a.Observe(32)
+	a.Tick()
+	a.Tick()
+	iv := a.Intervals()[0]
+	if got := iv.SpatialLocality; math.Abs(got-9.0/16.0) > 1e-12 {
+		t.Errorf("spatial = %v, want 9/16", got)
+	}
+	if iv.ReuseRate != 0 {
+		t.Errorf("reuse = %v, want 0 (all unique)", iv.ReuseRate)
+	}
+}
+
+func TestAnalyzerResetsBetweenIntervals(t *testing.T) {
+	a := NewAnalyzer(1)
+	a.Observe(0)
+	a.Tick()
+	a.Observe(0) // same word, new interval: not a repeat
+	a.Tick()
+	for _, iv := range a.Intervals() {
+		if iv.ReuseRate != 0 {
+			t.Errorf("cross-interval state leaked: reuse %v", iv.ReuseRate)
+		}
+	}
+}
+
+func TestDefaultInterval(t *testing.T) {
+	a := NewAnalyzer(0)
+	if a.interval != IntervalInstrs {
+		t.Errorf("default interval = %d, want %d", a.interval, IntervalInstrs)
+	}
+}
+
+func TestSummarizeHistogramsNormalized(t *testing.T) {
+	a := NewAnalyzer(1)
+	for i := 0; i < 50; i++ {
+		a.Observe(uint64(4 * (i % 4)))
+		a.Observe(uint64(4 * (i % 4)))
+		a.Tick()
+	}
+	s := a.Summarize()
+	if s.Intervals != 50 {
+		t.Fatalf("Intervals = %d", s.Intervals)
+	}
+	sum := 0.0
+	for _, f := range s.SpatialHist {
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("spatial histogram sums to %v", sum)
+	}
+	if s.MeanReuse != 0.5 {
+		t.Errorf("MeanReuse = %v, want 0.5", s.MeanReuse)
+	}
+}
+
+// measure runs a benchmark's stream through the analyzer the way the
+// paper does (10k-instruction intervals).
+func measure(t *testing.T, name string, instrs int) Summary {
+	t.Helper()
+	prof, err := workload.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := workload.BuildProgram(prof, 42, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := workload.NewStream(prof, prog, program.NewSequentialLayout(prog, 0), 42)
+	a := NewAnalyzer(IntervalInstrs)
+	for i := 0; i < instrs; i++ {
+		in := s.Next()
+		if in.Kind == program.KindLoad || in.Kind == program.KindStore {
+			a.Observe(in.MemAddr)
+		}
+		a.Tick()
+	}
+	return a.Summarize()
+}
+
+func TestGeneratedWorkloadsMatchFigure3(t *testing.T) {
+	// The generators must realize their profile targets as *measured* by
+	// the paper's own metric. Tolerances are loose (the measurement
+	// couples block-visit overlap into both metrics) but tight enough to
+	// separate the Figure 3 bands.
+	cases := []struct {
+		name                 string
+		spatialLo, spatialHi float64
+		reuseLo, reuseHi     float64
+	}{
+		{"429.mcf", 0.25, 0.55, 0.75, 0.95},
+		{"462.libquantum", 0.80, 1.00, 0.20, 0.45},
+		{"basicmath", 0.30, 0.60, 0.75, 0.95},
+		{"crc32", 0.55, 0.95, 0.60, 0.85},
+	}
+	for _, tt := range cases {
+		t.Run(tt.name, func(t *testing.T) {
+			s := measure(t, tt.name, 200000)
+			if s.Intervals < 10 {
+				t.Fatalf("only %d intervals", s.Intervals)
+			}
+			if s.MeanSpatial < tt.spatialLo || s.MeanSpatial > tt.spatialHi {
+				t.Errorf("measured spatial %.3f outside [%v,%v]", s.MeanSpatial, tt.spatialLo, tt.spatialHi)
+			}
+			if s.MeanReuse < tt.reuseLo || s.MeanReuse > tt.reuseHi {
+				t.Errorf("measured reuse %.3f outside [%v,%v]", s.MeanReuse, tt.reuseLo, tt.reuseHi)
+			}
+		})
+	}
+}

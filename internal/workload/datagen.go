@@ -1,0 +1,187 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// DataBase is where the synthetic data segment starts, far from the code
+// segment so instruction and data addresses never collide.
+const DataBase uint64 = 1 << 30
+
+// DataGen produces the data-access address stream of a profile as a
+// mixture of two block classes, which is how Figure 3's "poor spatial
+// locality and/or high word reuse" decomposes in real programs:
+//
+//   - streaming blocks (fraction StreamFrac): the whole 32 B block is
+//     swept once per visit and rarely repeated — buffers, input streams;
+//   - reused blocks: a narrow sticky window of words is re-touched many
+//     times — hot structure fields, stack frames, table entries.
+//
+// The reused-class window width and per-visit burst are derived from the
+// profile's SpatialLocality and ReuseRate targets so the *measured*
+// interval metrics land on the Figure 3 bands.
+type DataGen struct {
+	prof Profile
+	rng  *rand.Rand
+
+	// Per-block state, lazily initialized at first touch. Streaming
+	// blocks have width 8; reused blocks draw a narrow width and keep a
+	// sticky window.
+	width    []int8 // 0 = untouched; 8+stream marker lives in stream[]
+	winStart []int8
+	stream   []bool
+	swept    []bool
+
+	reusedWidth float64 // mean width of the reused class
+	reusedBurst float64 // accesses per reused-class visit
+
+	curBlock int
+	left     int
+	sweepPos int
+}
+
+// reusedWidthFor solves the mixture for the reused-class mean width:
+// spatial = f·1 + (1-f)·wR/8.
+func reusedWidthFor(prof Profile) float64 {
+	f := prof.StreamFrac
+	if f >= 1 {
+		return 8
+	}
+	w := 8 * (prof.SpatialLocality - f) / (1 - f)
+	if w < 1 {
+		w = 1
+	}
+	if w > 8 {
+		w = 8
+	}
+	return w
+}
+
+// reusedBurstFor solves the mixture for the reused-class burst length:
+// reuse = 1 - E[unique]/E[total] with streams contributing 8 unique of 8.
+func reusedBurstFor(prof Profile, wR float64) float64 {
+	f := prof.StreamFrac
+	unique := f*8 + (1-f)*wR
+	if prof.ReuseRate >= 1 || f >= 1 {
+		return wR
+	}
+	total := unique / (1 - prof.ReuseRate)
+	b := (total - f*8) / (1 - f)
+	if b < wR {
+		b = wR
+	}
+	return b
+}
+
+// NewDataGen builds the generator. The profile must validate.
+func NewDataGen(prof Profile, seed int64) *DataGen {
+	wR := reusedWidthFor(prof)
+	g := &DataGen{
+		prof:        prof,
+		rng:         rand.New(rand.NewSource(seed)),
+		width:       make([]int8, prof.DataBlocks),
+		winStart:    make([]int8, prof.DataBlocks),
+		stream:      make([]bool, prof.DataBlocks),
+		swept:       make([]bool, prof.DataBlocks),
+		reusedWidth: wR,
+		reusedBurst: reusedBurstFor(prof, wR),
+	}
+	g.startVisit(0)
+	return g
+}
+
+// ReusedWidth returns the derived mean window width of the reused class.
+func (g *DataGen) ReusedWidth() float64 { return g.reusedWidth }
+
+// ReusedBurst returns the derived accesses per reused-class visit.
+func (g *DataGen) ReusedBurst() float64 { return g.reusedBurst }
+
+// drawWidth samples a reused block's window width around the class mean;
+// widths are capped at 4 — reused hot regions are narrow (that is what
+// makes them reusable), and wider per-block touch fractions come from the
+// streaming class.
+func (g *DataGen) drawWidth() int {
+	w := int(math.Round(g.reusedWidth + g.rng.NormFloat64()*1.0))
+	if w < 1 {
+		w = 1
+	}
+	if w > 4 {
+		w = 4
+	}
+	return w
+}
+
+func (g *DataGen) startVisit(block int) {
+	g.curBlock = block
+	if g.width[block] == 0 {
+		// First touch: classify and fix the window.
+		if g.rng.Float64() < g.prof.StreamFrac {
+			g.stream[block] = true
+			g.width[block] = 8
+			g.winStart[block] = 0
+		} else {
+			w := g.drawWidth()
+			g.width[block] = int8(w)
+			g.winStart[block] = int8((block * 2654435761) % (9 - w))
+		}
+		g.sweepPos = 0
+	} else if g.stream[block] {
+		// Streams re-sweep on every visit (a fresh pass over the data).
+		g.sweepPos = 0
+	} else if !g.swept[block] {
+		g.sweepPos = 0
+	} else {
+		g.sweepPos = int(g.width[block])
+		if g.rng.Float64() < g.prof.DriftProb {
+			// The likely-accessed region drifts slowly.
+			s := int(g.winStart[block])
+			if g.rng.Intn(2) == 0 {
+				s--
+			} else {
+				s++
+			}
+			w := int(g.width[block])
+			if s < 0 {
+				s = 0
+			}
+			if s > 8-w {
+				s = 8 - w
+			}
+			g.winStart[block] = int8(s)
+		}
+	}
+	if g.stream[block] {
+		g.left = 8
+	} else {
+		g.left = int(g.reusedBurst + 0.5)
+	}
+}
+
+func (g *DataGen) nextBlock() int {
+	if g.rng.Float64() < g.prof.SeqProb {
+		return (g.curBlock + 1) % g.prof.DataBlocks
+	}
+	return g.rng.Intn(g.prof.DataBlocks)
+}
+
+// Next returns the next data byte address (word-aligned).
+func (g *DataGen) Next() uint64 {
+	if g.left == 0 {
+		g.startVisit(g.nextBlock())
+	}
+	g.left--
+	start := int(g.winStart[g.curBlock])
+	w := int(g.width[g.curBlock])
+	var word int
+	if g.sweepPos < w {
+		word = start + g.sweepPos
+		g.sweepPos++
+		if g.sweepPos == w {
+			g.swept[g.curBlock] = true
+		}
+	} else {
+		word = start + g.rng.Intn(w)
+	}
+	return DataBase + uint64(g.curBlock)*32 + uint64(word)*4
+}

@@ -1,0 +1,410 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/program"
+)
+
+func TestProfilesValidate(t *testing.T) {
+	ps := Profiles()
+	if len(ps) != 10 {
+		t.Fatalf("suite has %d benchmarks, want 10 (4 SPEC + 6 MiBench)", len(ps))
+	}
+	for _, p := range ps {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestProfilesMatchFigure3Bands(t *testing.T) {
+	// The paper's Figure 3 narrative: mcf, hmmer, basicmath, qsort,
+	// patricia, dijkstra have 30-60% spatial locality and >80% reuse;
+	// bzip2, crc32, adpcm have >60% spatial and >60% reuse; libquantum
+	// is the high-spatial low-reuse exception.
+	lowSpatialHighReuse := []string{"429.mcf", "456.hmmer", "basicmath", "qsort", "patricia", "dijkstra"}
+	for _, name := range lowSpatialHighReuse {
+		p, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.SpatialLocality < 0.30 || p.SpatialLocality > 0.60 {
+			t.Errorf("%s spatial %v outside [0.30,0.60]", name, p.SpatialLocality)
+		}
+		if p.ReuseRate < 0.80 {
+			t.Errorf("%s reuse %v < 0.80", name, p.ReuseRate)
+		}
+	}
+	for _, name := range []string{"401.bzip2", "crc32", "adpcm"} {
+		p, _ := ByName(name)
+		if p.SpatialLocality < 0.60 {
+			t.Errorf("%s spatial %v < 0.60", name, p.SpatialLocality)
+		}
+		if p.ReuseRate < 0.60 {
+			t.Errorf("%s reuse %v < 0.60", name, p.ReuseRate)
+		}
+	}
+	lq, _ := ByName("462.libquantum")
+	if lq.SpatialLocality < 0.9 || lq.ReuseRate > 0.4 {
+		t.Errorf("libquantum should be high-spatial low-reuse, got %v/%v", lq.SpatialLocality, lq.ReuseRate)
+	}
+}
+
+func TestByNameUnknown(t *testing.T) {
+	if _, err := ByName("nonesuch"); err == nil {
+		t.Error("unknown benchmark must error")
+	}
+}
+
+func TestValidateRejectsBadProfiles(t *testing.T) {
+	good, _ := ByName("qsort")
+	cases := map[string]func(*Profile){
+		"no name":      func(p *Profile) { p.Name = "" },
+		"spatial zero": func(p *Profile) { p.SpatialLocality = 0 },
+		"spatial big":  func(p *Profile) { p.SpatialLocality = 1.2 },
+		"reuse one":    func(p *Profile) { p.ReuseRate = 1 },
+		"no blocks":    func(p *Profile) { p.DataBlocks = 0 },
+		"bad seq":      func(p *Profile) { p.SeqProb = -0.1 },
+		"code blocks":  func(p *Profile) { p.CodeBlocks = 1 },
+		"mix":          func(p *Profile) { p.LoadFrac = 0.9; p.StoreFrac = 0.2 },
+		"dep":          func(p *Profile) { p.LoadUseDepProb = 2 },
+		"mispredict":   func(p *Profile) { p.MispredictRate = -1 },
+	}
+	for name, corrupt := range cases {
+		t.Run(name, func(t *testing.T) {
+			p := good
+			corrupt(&p)
+			if err := p.Validate(); err == nil {
+				t.Error("expected validation failure")
+			}
+		})
+	}
+}
+
+func TestDataGenDeterministic(t *testing.T) {
+	p, _ := ByName("basicmath")
+	a, b := NewDataGen(p, 5), NewDataGen(p, 5)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("DataGen not deterministic")
+		}
+	}
+}
+
+func TestDataGenAddressesInWorkingSet(t *testing.T) {
+	p, _ := ByName("adpcm")
+	g := NewDataGen(p, 1)
+	limit := DataBase + uint64(p.DataBlocks)*32
+	for i := 0; i < 10000; i++ {
+		addr := g.Next()
+		if addr < DataBase || addr >= limit {
+			t.Fatalf("address %#x outside data segment [%#x, %#x)", addr, DataBase, limit)
+		}
+		if addr%4 != 0 {
+			t.Fatalf("address %#x not word-aligned", addr)
+		}
+	}
+}
+
+func TestDataGenMixtureSolvers(t *testing.T) {
+	// The mixture must solve so that f·1 + (1-f)·wR/8 = spatial.
+	for _, prof := range Profiles() {
+		wR := reusedWidthFor(prof)
+		if wR < 1 || wR > 8 {
+			t.Errorf("%s: reused width %v out of range", prof.Name, wR)
+		}
+		implied := prof.StreamFrac + (1-prof.StreamFrac)*wR/8
+		if math.Abs(implied-prof.SpatialLocality) > 0.02 {
+			t.Errorf("%s: mixture implies spatial %.3f, profile %.3f", prof.Name, implied, prof.SpatialLocality)
+		}
+		b := reusedBurstFor(prof, wR)
+		if b < wR {
+			t.Errorf("%s: burst %v below width %v", prof.Name, b, wR)
+		}
+	}
+}
+
+func TestDataGenWidthDistribution(t *testing.T) {
+	// Per-block reused widths are heterogeneous around the class mean;
+	// stream blocks are full-width.
+	p, _ := ByName("basicmath")
+	g := NewDataGen(p, 9)
+	for i := 0; i < 200000; i++ {
+		g.Next()
+	}
+	seen := map[int]bool{}
+	streams, reused := 0, 0
+	for b, w := range g.width {
+		if w == 0 {
+			continue
+		}
+		if g.stream[b] {
+			streams++
+			if w != 8 {
+				t.Fatalf("stream block %d has width %d", b, w)
+			}
+			continue
+		}
+		reused++
+		if w < 1 || w > 6 {
+			t.Fatalf("reused block %d width %d out of range", b, w)
+		}
+		seen[int(w)] = true
+	}
+	if reused < 100 {
+		t.Fatalf("only %d reused blocks touched", reused)
+	}
+	if streams == 0 {
+		t.Error("no stream blocks touched (StreamFrac 0.10 should yield some)")
+	}
+	if len(seen) < 3 {
+		t.Errorf("reused widths not heterogeneous: %v", seen)
+	}
+}
+
+func TestDataGenBurstStaysInOneBlock(t *testing.T) {
+	p, _ := ByName("dijkstra")
+	g := NewDataGen(p, 3)
+	// Drain the first visit, then check each subsequent visit stays in
+	// one block for its full burst.
+	for g.left > 0 {
+		g.Next()
+	}
+	for v := 0; v < 100; v++ {
+		block := g.Next() / 32
+		for g.left > 0 {
+			if got := g.Next() / 32; got != block {
+				t.Fatalf("burst access left block %d for %d", block, got)
+			}
+		}
+	}
+}
+
+func buildStream(t *testing.T, name string, seed int64) *Stream {
+	t.Helper()
+	prof, err := ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := BuildProgram(prof, seed, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := program.NewSequentialLayout(prog, 0)
+	return NewStream(prof, prog, layout, seed)
+}
+
+func TestStreamInstructionMix(t *testing.T) {
+	s := buildStream(t, "qsort", 1)
+	counts := map[program.InstrKind]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[s.Next().Kind]++
+	}
+	loadFrac := float64(counts[program.KindLoad]) / n
+	if math.Abs(loadFrac-0.29) > 0.08 {
+		t.Errorf("load fraction = %.3f, want ~0.29", loadFrac)
+	}
+	if counts[program.KindBranch] == 0 || counts[program.KindALU] == 0 {
+		t.Error("missing instruction kinds")
+	}
+	if s.Instructions != n {
+		t.Errorf("Instructions = %d, want %d", s.Instructions, n)
+	}
+}
+
+func TestStreamPCsFollowLayout(t *testing.T) {
+	s := buildStream(t, "adpcm", 2)
+	prev := s.Next()
+	redirects := 0
+	for i := 0; i < 20000; i++ {
+		cur := s.Next()
+		if prev.Kind == program.KindBranch && prev.Taken {
+			redirects++
+		} else if cur.PC != 0 {
+			// Sequential flow under the dense layout moves strictly
+			// forward: PC+4 within a block, or a small forward hop over a
+			// literal pool at a block boundary. PC 0 is the program
+			// restart after the exit block.
+			gap := int64(cur.PC) - int64(prev.PC)
+			if gap < 4 || gap > 4*64 {
+				t.Fatalf("PC jumped %#x -> %#x without a taken branch", prev.PC, cur.PC)
+			}
+		}
+		prev = cur
+	}
+	if redirects == 0 {
+		t.Error("no taken branches in 20k instructions")
+	}
+}
+
+func TestStreamMemAddrOnlyOnMemOps(t *testing.T) {
+	s := buildStream(t, "crc32", 3)
+	for i := 0; i < 20000; i++ {
+		in := s.Next()
+		isMem := in.Kind == program.KindLoad || in.Kind == program.KindStore
+		if isMem && in.MemAddr < DataBase {
+			t.Fatalf("mem op without data address: %+v", in)
+		}
+		if !isMem && in.MemAddr != 0 {
+			t.Fatalf("non-mem op with data address: %+v", in)
+		}
+	}
+}
+
+func TestStreamMispredictRate(t *testing.T) {
+	s := buildStream(t, "qsort", 4) // mispredict 0.08
+	mis, cond := 0, 0
+	for i := 0; i < 300000; i++ {
+		in := s.Next()
+		if in.Kind != program.KindBranch {
+			continue
+		}
+		if in.Mispredicted {
+			mis++
+		}
+		cond++
+	}
+	// Mispredicts only occur on conditionals; rate over all branches is
+	// diluted but must be positive and below the profile rate.
+	if mis == 0 {
+		t.Error("no mispredicts sampled")
+	}
+	rate := float64(mis) / float64(cond)
+	if rate > 0.09 {
+		t.Errorf("mispredict rate %.4f exceeds profile rate", rate)
+	}
+}
+
+func TestStreamDeterministic(t *testing.T) {
+	a := buildStream(t, "patricia", 7)
+	b := buildStream(t, "patricia", 7)
+	for i := 0; i < 10000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("streams diverged")
+		}
+	}
+}
+
+func TestBuildProgramTransformHook(t *testing.T) {
+	prof, _ := ByName("basicmath")
+	called := false
+	_, err := BuildProgram(prof, 1, func(p *program.Program) (*program.Program, error) {
+		called = true
+		return p, nil
+	})
+	if err != nil || !called {
+		t.Errorf("transform hook not applied: err=%v called=%v", err, called)
+	}
+}
+
+func TestRegisterAndFromJSON(t *testing.T) {
+	js := []byte(`{
+		"Name": "custom-kernel",
+		"SpatialLocality": 0.5, "ReuseRate": 0.8,
+		"DataBlocks": 1024, "SeqProb": 0.3, "DriftProb": 0.05, "StreamFrac": 0.1,
+		"CodeBlocks": 100, "MeanTripCount": 20,
+		"LoadFrac": 0.25, "StoreFrac": 0.1,
+		"LoadUseDepProb": 0.7, "MispredictRate": 0.04
+	}`)
+	p, err := FromJSON(js)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Register(p); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ByName("custom-kernel")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SpatialLocality != 0.5 || got.CodeBlocks != 100 {
+		t.Errorf("registered profile corrupted: %+v", got)
+	}
+	// Duplicates and built-in collisions fail.
+	if err := Register(p); err == nil {
+		t.Error("duplicate registration must fail")
+	}
+	clash := p
+	clash.Name = "qsort"
+	if err := Register(clash); err == nil {
+		t.Error("built-in collision must fail")
+	}
+	// Custom names never enter the built-in suite.
+	for _, name := range Names() {
+		if name == "custom-kernel" {
+			t.Error("custom profile leaked into the built-in suite")
+		}
+	}
+}
+
+func TestFromJSONRejectsInvalid(t *testing.T) {
+	if _, err := FromJSON([]byte(`{bad json`)); err == nil {
+		t.Error("malformed JSON must fail")
+	}
+	if _, err := FromJSON([]byte(`{"Name":"x","SpatialLocality":2}`)); err == nil {
+		t.Error("invalid profile must fail validation")
+	}
+	if _, err := FromJSON([]byte(`{}`)); err == nil {
+		t.Error("empty profile must fail validation")
+	}
+}
+
+func TestRegisterRejectsInvalid(t *testing.T) {
+	if err := Register(Profile{Name: "bad"}); err == nil {
+		t.Error("invalid profile must not register")
+	}
+}
+
+func TestDataGenAccessors(t *testing.T) {
+	p, _ := ByName("basicmath")
+	g := NewDataGen(p, 1)
+	if g.ReusedWidth() != reusedWidthFor(p) {
+		t.Error("ReusedWidth accessor inconsistent")
+	}
+	if g.ReusedBurst() != reusedBurstFor(p, g.ReusedWidth()) {
+		t.Error("ReusedBurst accessor inconsistent")
+	}
+}
+
+func TestMixtureSolverEdges(t *testing.T) {
+	// Fully-streaming profile: reused class degenerates gracefully.
+	p := Profile{SpatialLocality: 0.99, ReuseRate: 0.1, StreamFrac: 0.99}
+	w := reusedWidthFor(p)
+	if w < 1 || w > 8 {
+		t.Errorf("width %v out of range for near-pure stream", w)
+	}
+	// Width clamps at both ends.
+	if w := reusedWidthFor(Profile{SpatialLocality: 0.05, StreamFrac: 0}); w != 1 {
+		t.Errorf("tiny spatial should clamp width to 1, got %v", w)
+	}
+	if w := reusedWidthFor(Profile{SpatialLocality: 1, StreamFrac: 0}); w != 8 {
+		t.Errorf("full spatial should clamp width to 8, got %v", w)
+	}
+	if w := reusedWidthFor(Profile{StreamFrac: 1}); w != 8 {
+		t.Errorf("StreamFrac 1 should return 8, got %v", w)
+	}
+	// Burst floors at the width.
+	if b := reusedBurstFor(Profile{ReuseRate: 0, StreamFrac: 0}, 3); b != 3 {
+		t.Errorf("zero reuse should floor burst at width, got %v", b)
+	}
+	if b := reusedBurstFor(Profile{StreamFrac: 1}, 5); b != 5 {
+		t.Errorf("pure stream burst should degenerate to width, got %v", b)
+	}
+}
+
+func TestValidateStreamFracRules(t *testing.T) {
+	good, _ := ByName("qsort")
+	p := good
+	p.StreamFrac = 1.0
+	if err := p.Validate(); err == nil {
+		t.Error("StreamFrac 1.0 must fail (no reused class left)")
+	}
+	p = good
+	p.StreamFrac = 0.9 // above qsort's spatial locality 0.50
+	if err := p.Validate(); err == nil {
+		t.Error("StreamFrac above spatial locality must fail")
+	}
+}

@@ -1,0 +1,134 @@
+// Package lvcache reproduces "Enabling Deep Voltage Scaling in Delay
+// Sensitive L1 Caches" (Yan & Joseph, DSN 2016): fault-tolerant L1 cache
+// schemes — the paper's Fault-Free Window data cache and Basic Block
+// Relocation instruction cache, plus the comparison schemes — over a
+// complete simulation stack (SRAM failure model, fault maps, cache and
+// CPU timing models, synthetic SPEC/MiBench-shaped workloads, and a
+// CACTI-style area/latency/leakage model).
+//
+// This package is the public facade: it re-exports the experiment driver
+// and the main entry points. The implementation lives under internal/
+// (one package per subsystem; see DESIGN.md for the map). Typical use:
+//
+//	cfg := lvcache.QuickConfig()
+//	cells, err := lvcache.Evaluate(cfg, lvcache.EvalSchemes(), nil, nil)
+//
+// runs the paper's Figure 10–12 evaluation grid: every scheme at every
+// low-voltage operating point, Monte Carlo over fault maps, normalized
+// runtime / L2 traffic / energy per instruction.
+package lvcache
+
+import (
+	"repro/internal/cacti"
+	"repro/internal/cpu"
+	"repro/internal/dvfs"
+	"repro/internal/sim"
+	"repro/internal/sram"
+	"repro/internal/workload"
+)
+
+// Core experiment types, re-exported from the driver.
+type (
+	// Scheme identifies one evaluated L1 cache configuration.
+	Scheme = sim.Scheme
+	// Config scales a Monte Carlo evaluation.
+	Config = sim.Config
+	// RunSpec pins one simulation run.
+	RunSpec = sim.RunSpec
+	// EvalCell is one (scheme, voltage) cell of the evaluation.
+	EvalCell = sim.EvalCell
+	// OperatingPoint is a DVFS configuration from the paper's Table II.
+	OperatingPoint = dvfs.OperatingPoint
+	// Profile is a synthetic benchmark workload.
+	Profile = workload.Profile
+	// CPUConfig fixes the timing model's core parameters.
+	CPUConfig = cpu.Config
+	// Result is one timing-simulation outcome.
+	Result = cpu.Result
+	// DieSweep is one die evaluated across the whole DVFS ladder with
+	// voltage-nested fault maps.
+	DieSweep = sim.DieSweep
+	// DiePoint is one operating point of a die sweep.
+	DiePoint = sim.DiePoint
+)
+
+// The evaluated schemes.
+const (
+	DefectFree    = sim.DefectFree
+	Conventional  = sim.Conventional
+	EightT        = sim.EightT
+	SimpleWdis    = sim.SimpleWdis
+	WilkersonPlus = sim.WilkersonPlus
+	FBA64         = sim.FBA64
+	FBAPlus       = sim.FBAPlus
+	IDC64         = sim.IDC64
+	IDCPlus       = sim.IDCPlus
+	FFWBBR        = sim.FFWBBR
+	// SECDEDScheme is the per-word ECC extension baseline (not in the
+	// paper's evaluated set).
+	SECDEDScheme = sim.SECDEDScheme
+	// BitFixScheme is the word-granularity bit-fix extension baseline.
+	BitFixScheme = sim.BitFixScheme
+)
+
+// EvalSchemes returns the schemes of the paper's Figures 10–12.
+func EvalSchemes() []Scheme { return sim.EvalSchemes() }
+
+// AllSchemes returns every constructible scheme.
+func AllSchemes() []Scheme { return sim.AllSchemes() }
+
+// QuickConfig returns a configuration sized for tests and exploration.
+func QuickConfig() Config { return sim.QuickConfig() }
+
+// ReportConfig returns the configuration used to regenerate the paper's
+// tables and figures.
+func ReportConfig() Config { return sim.ReportConfig() }
+
+// Run executes one simulation (one scheme, benchmark, operating point,
+// fault map).
+func Run(spec RunSpec) (Result, error) { return sim.Run(spec) }
+
+// Evaluate runs the full evaluation grid; nil benchmarks/ops select the
+// paper's ten benchmarks and five low-voltage operating points.
+func Evaluate(cfg Config, schemes []Scheme, benchmarks []string, ops []OperatingPoint) ([]EvalCell, error) {
+	return sim.Evaluate(cfg, schemes, benchmarks, ops)
+}
+
+// SweepDie evaluates one scheme on a single die across the DVFS ladder
+// (fault maps nested across voltages, as real silicon degrades).
+func SweepDie(scheme Scheme, benchmark string, dieSeed, workSeed int64, instructions uint64, cpuCfg CPUConfig) (*DieSweep, error) {
+	return sim.SweepDie(scheme, benchmark, dieSeed, workSeed, instructions, cpuCfg)
+}
+
+// OperatingPoints returns the paper's DVFS table (Table II).
+func OperatingPoints() []OperatingPoint { return dvfs.OperatingPoints() }
+
+// LowVoltagePoints returns the 560–400 mV region of interest.
+func LowVoltagePoints() []OperatingPoint { return dvfs.LowVoltagePoints() }
+
+// Nominal returns the 760 mV baseline operating point.
+func Nominal() OperatingPoint { return dvfs.Nominal() }
+
+// Benchmarks returns the evaluation suite's benchmark names.
+func Benchmarks() []string { return workload.Names() }
+
+// Profiles returns the synthetic benchmark profiles.
+func Profiles() []Profile { return workload.Profiles() }
+
+// ConventionalVccminMV is the Vccmin of the conventional 6T 32 KB cache
+// at the paper's 99.9% yield target.
+const ConventionalVccminMV = sram.ConventionalVccminMV
+
+// Vccmin computes the minimum voltage (mV) at which a cache array of the
+// given size meets the yield target, for the conventional 6T cell.
+func Vccmin(arrayBits int, targetYield float64) float64 {
+	return sram.NewModel().VccminMV(sram.Cell6T, arrayBits, targetYield)
+}
+
+// TableIII returns the static-overhead comparison (area, leakage, extra
+// latency) computed by the analytic CACTI-style model.
+func TableIII() []cacti.TableIIIRow { return cacti.Default45nm().TableIII() }
+
+// PaperTableIII returns the paper's Table III verbatim for side-by-side
+// comparison.
+func PaperTableIII() []cacti.TableIIIRow { return cacti.PaperTableIII() }
