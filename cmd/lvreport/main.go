@@ -311,12 +311,17 @@ func figures101112(cfg sim.Config, schemes []sim.Scheme, plots bool, csvPath str
 }
 
 // writeCSV dumps the evaluation grid in a plotting-friendly long format.
-func writeCSV(path string, cells []sim.EvalCell) error {
+func writeCSV(path string, cells []sim.EvalCell) (err error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	defer func() {
+		// A failed close loses buffered rows; surface it.
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}()
 	w := csvpkg.NewWriter(f)
 	if err := w.Write([]string{"scheme", "voltage_mv", "norm_runtime", "runtime_moe",
 		"base_share", "l1_share", "mem_share", "l2_per_1k_instr", "norm_epi", "samples", "yield_fails"}); err != nil {

@@ -12,6 +12,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
@@ -30,7 +31,9 @@ import (
 
 func main() {
 	log.SetFlags(0)
-	const dieSeed = 42
+	seed := flag.Int64("seed", 42, "die seed (all randomness derives from it)")
+	flag.Parse()
+	dieSeed := *seed
 	model := sram.NewModel()
 	cfg := cache.L1Config("L1")
 
@@ -44,7 +47,7 @@ func main() {
 	var fmD400 *faultmap.Map
 	for _, op := range dvfs.LowVoltagePoints() {
 		truthI := seriesI.MapAt(op.PfailBit)
-		arr := faultmap.NewArray(truthI, model, rand.New(rand.NewSource(int64(op.VoltageMV))))
+		arr := faultmap.NewArray(truthI, model, rand.New(rand.NewSource(dieSeed*1000+int64(op.VoltageMV))))
 		res := faultmap.MarchCMinus(arr)
 		if !res.Map.Equal(truthI) {
 			log.Fatalf("BIST at %v missed defects", op)

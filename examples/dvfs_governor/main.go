@@ -9,6 +9,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -22,6 +23,8 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	seed := flag.Int64("seed", 3, "fault-map seed")
+	flag.Parse()
 	const instrs = 200_000
 	model := energy.DefaultModel()
 
@@ -38,7 +41,7 @@ func main() {
 		for _, op := range lvcache.LowVoltagePoints() {
 			r, err := lvcache.Run(lvcache.RunSpec{
 				Scheme: scheme, Benchmark: bench, Op: op,
-				MapSeed: 3, Instructions: instrs, CPU: cpu.DefaultConfig(),
+				MapSeed: *seed, Instructions: instrs, CPU: cpu.DefaultConfig(),
 			})
 			if err != nil {
 				log.Fatal(err)

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"os"
@@ -17,6 +18,8 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	seed := flag.Int64("seed", 7, "fault-map seed")
+	flag.Parse()
 	const bench = "dijkstra"
 	const instrs = 300_000
 
@@ -40,7 +43,7 @@ func main() {
 	for _, op := range lvcache.LowVoltagePoints() {
 		run, err := lvcache.Run(lvcache.RunSpec{
 			Scheme: lvcache.FFWBBR, Benchmark: bench, Op: op,
-			MapSeed: 7, Instructions: instrs, CPU: cpu.DefaultConfig(),
+			MapSeed: *seed, Instructions: instrs, CPU: cpu.DefaultConfig(),
 		})
 		if err != nil {
 			log.Fatal(err)

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 	"math/rand"
@@ -19,6 +20,8 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	seed := flag.Int64("seed", 1, "master random seed (all die draws derive from it)")
+	flag.Parse()
 	const dies = 200
 	const l1Words = 32 * 1024 / 4
 
@@ -30,7 +33,7 @@ func main() {
 	for _, op := range lvcache.LowVoltagePoints() {
 		var defs, largest, covered float64
 		for d := 0; d < dies; d++ {
-			fm := faultmap.Generate(l1Words, op.PfailBit, rand.New(rand.NewSource(int64(op.VoltageMV*1000+d))))
+			fm := faultmap.Generate(l1Words, op.PfailBit, rand.New(rand.NewSource(*seed+int64(op.VoltageMV*1000+d))))
 			defs += float64(fm.CountDefective())
 			max := 0
 			for _, c := range fm.Chunks() {
@@ -49,7 +52,7 @@ func main() {
 	w.Flush()
 
 	fmt.Println("\nper-scheme yield (fraction of dies each scheme can guarantee correct execution on):")
-	rows, err := sim.YieldAnalysis(dies, 1)
+	rows, err := sim.YieldAnalysis(dies, *seed)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -4,6 +4,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
 
@@ -13,6 +14,8 @@ import (
 
 func main() {
 	log.SetFlags(0)
+	seed := flag.Int64("seed", 1, "fault-map seed")
+	flag.Parse()
 
 	// The conventional 6T cache cannot run below 760 mV without
 	// sacrificing chip yield; it is the energy baseline.
@@ -44,7 +47,7 @@ func main() {
 		Scheme:       lvcache.FFWBBR,
 		Benchmark:    "basicmath",
 		Op:           p400,
-		MapSeed:      1,
+		MapSeed:      *seed,
 		Instructions: 300_000,
 		CPU:          cpu.DefaultConfig(),
 	})

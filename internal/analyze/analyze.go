@@ -1,0 +1,233 @@
+// Package analyze is a small static-analysis framework on the standard
+// library's go/parser + go/ast + go/types — no golang.org/x/tools — that
+// enforces simulator invariants the paper's evaluation depends on:
+// determinism (a Monte Carlo sweep is only citable if it replays
+// bit-for-bit), unit discipline (the 760 mV Vccmin and the 400 mV
+// operating point differ by a factor a single mV/V slip destroys),
+// exhaustive scheme dispatch, error hygiene, lock discipline and
+// panic-free library code.
+//
+// A check is an Analyzer; the driver loads every package of the module
+// (loader.go), runs each analyzer once per package, and filters the
+// resulting diagnostics through //lvlint:ignore suppression comments.
+// cmd/lvlint is the CLI front end.
+package analyze
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check. Run inspects a single type-checked
+// package and reports findings through the Pass.
+type Analyzer struct {
+	// Name identifies the check in output and in //lvlint:ignore
+	// comments. Lowercase, no spaces.
+	Name string
+	// Doc is a one-line description shown by `lvlint -list`.
+	Doc string
+	// Run executes the check over one package.
+	Run func(*Pass)
+}
+
+// Pass carries one (analyzer, package) execution.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Pkg is the loaded package under analysis.
+	Pkg *Package
+	// Module is the module path ("repro"); analyzers use it to separate
+	// first-party enums and helpers from the standard library.
+	Module string
+
+	diags *[]Diagnostic
+}
+
+// Files returns the package's syntax trees.
+func (p *Pass) Files() []*ast.File { return p.Pkg.Files }
+
+// TypesInfo returns the package's type-checking facts.
+func (p *Pass) TypesInfo() *types.Info { return p.Pkg.Info }
+
+// TypesPkg returns the package's *types.Package.
+func (p *Pass) TypesPkg() *types.Package { return p.Pkg.Types }
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Check:    p.Analyzer.Name,
+		Position: p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Check    string
+	Position token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Position, d.Check, d.Message)
+}
+
+// All returns the full analyzer suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Determinism,
+		UnitCheck,
+		Exhaustive,
+		ErrDrop,
+		LockGuard,
+		NoPanic,
+	}
+}
+
+// ByName resolves a comma-separated list of analyzer names against the
+// full suite. An empty list selects everything.
+func ByName(list string) ([]*Analyzer, error) {
+	if strings.TrimSpace(list) == "" {
+		return All(), nil
+	}
+	byName := map[string]*Analyzer{}
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("analyze: unknown check %q (have %s)", name, strings.Join(Names(), ", "))
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Names lists the suite's check names in order.
+func Names() []string {
+	var names []string
+	for _, a := range All() {
+		names = append(names, a.Name)
+	}
+	return names
+}
+
+// Run executes the analyzers over the loaded packages, applies
+// //lvlint:ignore suppression, and returns the surviving diagnostics
+// sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer, module string) []Diagnostic {
+	fset := fsetOf(pkgs)
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			a.Run(&Pass{Analyzer: a, Fset: fset, Pkg: pkg, Module: module, diags: &diags})
+		}
+	}
+	diags = suppress(diags, pkgs, fset)
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Check < b.Check
+	})
+	return diags
+}
+
+func fsetOf(pkgs []*Package) *token.FileSet {
+	for _, p := range pkgs {
+		if p.Fset != nil {
+			return p.Fset
+		}
+	}
+	return token.NewFileSet()
+}
+
+// ignoreRe matches suppression comments:
+//
+//	//lvlint:ignore determinism reproduced from the paper's listing
+//	//lvlint:ignore nopanic,errdrop reason text
+//
+// The reason is free text; a check list of "all" matches every check.
+var ignoreRe = regexp.MustCompile(`^//\s*lvlint:ignore\s+([a-z,]+)(?:\s+(.*))?$`)
+
+// suppress drops diagnostics covered by an //lvlint:ignore comment on
+// the same line or on the line directly above (a standalone comment).
+func suppress(diags []Diagnostic, pkgs []*Package, fset *token.FileSet) []Diagnostic {
+	// file -> line -> set of ignored check names.
+	ignored := map[string]map[int]map[string]bool{}
+	add := func(file string, line int, check string) {
+		if ignored[file] == nil {
+			ignored[file] = map[int]map[string]bool{}
+		}
+		if ignored[file][line] == nil {
+			ignored[file][line] = map[string]bool{}
+		}
+		ignored[file][line][check] = true
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := ignoreRe.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					for _, check := range strings.Split(m[1], ",") {
+						// The comment shields its own line (trailing
+						// comment) and the next line (comment above).
+						add(pos.Filename, pos.Line, check)
+						add(pos.Filename, pos.Line+1, check)
+					}
+				}
+			}
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		checks := ignored[d.Position.Filename][d.Position.Line]
+		if checks[d.Check] || checks["all"] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}
+
+// inspect walks every file of the pass with fn; returning false prunes
+// the subtree.
+func inspect(pass *Pass, fn func(ast.Node) bool) {
+	for _, f := range pass.Files() {
+		ast.Inspect(f, fn)
+	}
+}
+
+// pkgFunc reports whether the call's callee is the function pkgPath.name
+// (a package-level function accessed through an import), resolving
+// through the type checker rather than matching source text.
+func pkgFunc(info *types.Info, call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Pkg().Path() == pkgPath && fn.Name() == name
+}

@@ -1,0 +1,98 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// TimingSensitivePaths lists the package-path fragments whose code sits
+// on the simulated-time path: wall-clock reads there (time.Now,
+// time.Since, ...) would couple results to the host machine and break
+// bit-for-bit replay of a sweep.
+var TimingSensitivePaths = []string{"internal/sim", "internal/cpu", "internal/cache"}
+
+// Determinism flags the three nondeterminism sources that invalidate a
+// Monte Carlo sweep:
+//
+//   - package-level math/rand functions (rand.Intn, rand.Float64, ...):
+//     the global generator is shared, lockstep-dependent state; every
+//     draw must come from a rand.New(rand.NewSource(seed)) instance
+//     whose seed is derived from the experiment's master seed,
+//   - wall-clock reads inside timing-sensitive packages,
+//   - ranging over a map while writing output: Go randomizes map
+//     iteration order, so two runs of the same binary emit permuted
+//     tables.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "unseeded global math/rand, wall-clock reads in timing paths, and map-order-dependent output",
+	Run:  runDeterminism,
+}
+
+// seededRandFuncs are the math/rand entry points that take (or build
+// from) an explicit seed and are therefore reproducible.
+var seededRandFuncs = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+// wallClockFuncs are the time-package functions that read the host
+// clock.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true, "Tick": true, "After": true}
+
+func runDeterminism(pass *Pass) {
+	info := pass.TypesInfo()
+	timingSensitive := false
+	pkgSlash := pass.Pkg.Path + "/"
+	for _, frag := range TimingSensitivePaths {
+		if strings.Contains(pkgSlash, frag+"/") {
+			timingSensitive = true
+		}
+	}
+	inspect(pass, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			fn, ok := info.Uses[n.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "math/rand", "math/rand/v2":
+				// Methods on *rand.Rand are fine — only package-level
+				// functions hit the shared global generator.
+				if fn.Type().(*types.Signature).Recv() == nil && !seededRandFuncs[fn.Name()] {
+					pass.Reportf(n.Pos(), "call to global math/rand.%s; draw from a rand.New(rand.NewSource(seed)) instance so runs replay bit-for-bit", fn.Name())
+				}
+			case "time":
+				if timingSensitive && wallClockFuncs[fn.Name()] {
+					pass.Reportf(n.Pos(), "wall-clock read time.%s in timing-sensitive package %s; simulated time must not depend on the host clock", fn.Name(), pass.Pkg.Path)
+				}
+			}
+		case *ast.RangeStmt:
+			if _, ok := info.TypeOf(n.X).Underlying().(*types.Map); !ok {
+				return true
+			}
+			if printsOutput(info, n.Body) {
+				pass.Reportf(n.Pos(), "map iteration order is randomized but the loop body writes output; collect and sort the keys first")
+			}
+		}
+		return true
+	})
+}
+
+// printsOutput reports whether the block calls an fmt print function —
+// the signature of emitting user-visible report lines.
+func printsOutput(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, name := range []string{"Print", "Printf", "Println", "Fprint", "Fprintf", "Fprintln"} {
+			if pkgFunc(info, call, "fmt", name) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,107 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDrop flags call statements that silently discard an error result —
+// a bare `f()` expression statement, `defer f()` or `go f()` where f
+// returns an error. An explicit `_ = f()` is treated as a deliberate,
+// visible discard and allowed. fmt's printers and the in-memory
+// strings.Builder / bytes.Buffer writers (whose errors are vacuous) are
+// exempt, as is (*tabwriter.Writer).Flush on best-effort CLI tables.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "discarded error returns outside tests",
+	Run:  runErrDrop,
+}
+
+func runErrDrop(pass *Pass) {
+	info := pass.TypesInfo()
+	inspect(pass, func(n ast.Node) bool {
+		var call *ast.CallExpr
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			call, _ = n.X.(*ast.CallExpr)
+		case *ast.DeferStmt:
+			call = n.Call
+		case *ast.GoStmt:
+			call = n.Call
+		}
+		if call == nil {
+			return true
+		}
+		sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+		if !ok || !returnsError(sig) || exemptCall(info, call) {
+			return true
+		}
+		pass.Reportf(call.Pos(), "%s returns an error that is silently dropped; handle it or discard with `_ =`", calleeName(call))
+		return true
+	})
+}
+
+var errorType = types.Universe.Lookup("error").Type()
+
+func returnsError(sig *types.Signature) bool {
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if types.Identical(res.At(i).Type(), errorType) {
+			return true
+		}
+	}
+	return false
+}
+
+// exemptCall implements the allowlist. The receiver comes from the
+// method object's own signature — the selector expression's type is a
+// method value with the receiver already stripped.
+func exemptCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Pkg().Path() == "fmt" {
+		return true
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	switch typeString(recv.Type()) {
+	case "strings.Builder", "bytes.Buffer", "text/tabwriter.Writer":
+		return true
+	}
+	return false
+}
+
+// typeString renders a receiver type as "pkgpath.Name" with pointers
+// stripped.
+func typeString(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Path() + "." + named.Obj().Name()
+}
+
+// calleeName renders the called expression for the message.
+func calleeName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		if x, ok := f.X.(*ast.Ident); ok {
+			return x.Name + "." + f.Sel.Name
+		}
+		return f.Sel.Name
+	}
+	return "call"
+}

@@ -1,0 +1,184 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// LockGuard enforces the `// guarded by <mu>` field convention: every
+// read or write of a struct field so documented must happen inside a
+// function that locks that mutex (calls <x>.<mu>.Lock or .RLock,
+// directly or deferred) or whose name ends in "Locked" (the caller-
+// holds-the-lock convention). The check is a per-package heuristic — it
+// does not chase interprocedural lock ownership — but it catches the
+// common regression of a new accessor forgetting the registry lock.
+var LockGuard = &Analyzer{
+	Name: "lockguard",
+	Doc:  "fields documented `// guarded by mu` are only touched under that mutex",
+	Run:  runLockGuard,
+}
+
+var guardedByRe = regexp.MustCompile(`guarded by (\w+)`)
+
+// guardedField is one documented field.
+type guardedField struct {
+	obj *types.Var // the field object
+	mu  string     // the guarding mutex's name
+}
+
+func runLockGuard(pass *Pass) {
+	info := pass.TypesInfo()
+	guarded := collectGuardedFields(pass, info)
+	if len(guarded) == 0 {
+		return
+	}
+	isGuarded := func(obj types.Object) (guardedField, bool) {
+		for _, g := range guarded {
+			if g.obj == obj {
+				return g, true
+			}
+		}
+		return guardedField{}, false
+	}
+	for _, f := range pass.Files() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			locked := locksIn(fd.Body)
+			nameLocked := strings.HasSuffix(fd.Name.Name, "Locked")
+			// Composite-literal keys resolve to field objects too but
+			// initialize a brand-new value no other goroutine can see.
+			litKeys := compositeLitKeys(fd.Body)
+			// A selector's .Sel is itself an *ast.Ident, so one ident
+			// walk covers both field selectors and package-level vars.
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				g, ok := isGuarded(info.Uses[id])
+				if !ok {
+					return true
+				}
+				if nameLocked || locked[g.mu] || litKeys[id] {
+					return true
+				}
+				pass.Reportf(id.Pos(), "access to %s (guarded by %s) in %s, which never locks %s",
+					id.Name, g.mu, fd.Name.Name, g.mu)
+				return true
+			})
+		}
+	}
+}
+
+// collectGuardedFields scans struct declarations for fields whose doc or
+// line comment says "guarded by <mu>".
+func collectGuardedFields(pass *Pass, info *types.Info) []guardedField {
+	var out []guardedField
+	note := func(field *ast.Field, mu string) {
+		for _, name := range field.Names {
+			if obj, ok := info.Defs[name].(*types.Var); ok {
+				out = append(out, guardedField{obj: obj, mu: mu})
+			}
+		}
+	}
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+					if cg == nil {
+						continue
+					}
+					if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+						note(field, m[1])
+					}
+				}
+			}
+			return true
+		})
+	}
+	// Package-level guarded variables use the same comment on a var
+	// declaration inside a var block; handled via Defs of value specs.
+	for _, f := range pass.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gd, ok := n.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, cg := range []*ast.CommentGroup{vs.Doc, vs.Comment} {
+					if cg == nil {
+						continue
+					}
+					if m := guardedByRe.FindStringSubmatch(cg.Text()); m != nil {
+						for _, name := range vs.Names {
+							if obj, ok := info.Defs[name].(*types.Var); ok {
+								out = append(out, guardedField{obj: obj, mu: m[1]})
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// locksIn returns the set of mutex names the body locks: any call of
+// the form <expr>.<mu>.Lock(), <expr>.<mu>.RLock(), mu.Lock() or
+// mu.RLock(), plain or deferred.
+func locksIn(body *ast.BlockStmt) map[string]bool {
+	locked := map[string]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		switch x := sel.X.(type) {
+		case *ast.Ident:
+			locked[x.Name] = true
+		case *ast.SelectorExpr:
+			locked[x.Sel.Name] = true
+		}
+		return true
+	})
+	return locked
+}
+
+// compositeLitKeys collects the key identifiers of struct composite
+// literals, which the type checker records as field uses.
+func compositeLitKeys(body *ast.BlockStmt) map[*ast.Ident]bool {
+	keys := map[*ast.Ident]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		cl, ok := n.(*ast.CompositeLit)
+		if !ok {
+			return true
+		}
+		for _, el := range cl.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				if id, ok := kv.Key.(*ast.Ident); ok {
+					keys[id] = true
+				}
+			}
+		}
+		return true
+	})
+	return keys
+}

@@ -1,0 +1,43 @@
+package a
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// Bad: the global generator's state is shared and unseeded.
+func Draw() int {
+	return rand.Intn(10) // want "global math/rand.Intn"
+}
+
+// Good: explicit seed.
+func DrawSeeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// Bad: printing while ranging a map permutes output between runs.
+func PrintTable(m map[string]int) {
+	for k, v := range m { // want "map iteration order"
+		fmt.Println(k, v)
+	}
+}
+
+// Good: collect, sort, then print.
+func PrintSorted(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}
+
+// Suppressed finding: the ignore comment shields the next line.
+func DrawQuiet() int {
+	//lvlint:ignore determinism fixture exercising the suppression path
+	return rand.Intn(10)
+}

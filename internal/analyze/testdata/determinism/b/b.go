@@ -1,0 +1,7 @@
+package b
+
+import "time"
+
+// Clean: wall-clock reads are fine outside timing-sensitive packages
+// (progress logging, CLI timestamps).
+func Stamp() time.Time { return time.Now() }

@@ -1,0 +1,15 @@
+// Package sim stands in for a timing-sensitive simulator package: the
+// fixture path contains "internal/sim".
+package sim
+
+import "time"
+
+// Bad: host wall clock on the simulated-time path.
+func Stamp() time.Time {
+	return time.Now() // want "wall-clock read time.Now"
+}
+
+// Good: durations derived from simulated cycle counts.
+func Cycles(n int) time.Duration {
+	return time.Duration(n) * time.Nanosecond
+}

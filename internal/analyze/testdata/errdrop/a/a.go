@@ -1,0 +1,46 @@
+package a
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func fail() error { return errors.New("boom") }
+
+// Bad: the error vanishes.
+func Drop() {
+	fail() // want "silently dropped"
+}
+
+// Bad: deferred drop.
+func DeferDrop() {
+	defer fail() // want "silently dropped"
+}
+
+// Good: an explicit discard is visible in review.
+func Discard() {
+	_ = fail()
+}
+
+// Good: handled.
+func Handle() error {
+	if err := fail(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Good: fmt printers and in-memory builders are exempt.
+func Exempt() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "x")
+	b.WriteString("y")
+	return b.String()
+}
+
+// Suppressed finding: the ignore comment shields the next line.
+func Quiet() {
+	//lvlint:ignore errdrop fixture exercising the suppression path
+	fail()
+}

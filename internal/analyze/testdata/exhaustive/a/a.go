@@ -1,0 +1,52 @@
+package a
+
+// Color is a module enum: a named type with package-level constants.
+type Color int
+
+const (
+	Red Color = iota
+	Green
+	Blue
+)
+
+// Bad: misses Blue and has no default.
+func Bad(c Color) int {
+	switch c { // want "misses Blue"
+	case Red:
+		return 1
+	case Green:
+		return 2
+	}
+	return 0
+}
+
+// Good: full coverage.
+func Full(c Color) int {
+	switch c {
+	case Red, Green:
+		return 1
+	case Blue:
+		return 2
+	}
+	return 0
+}
+
+// Good: a default makes partial coverage explicit.
+func Defaulted(c Color) int {
+	switch c {
+	case Red:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Suppressed finding: the ignore comment shields the next line.
+func Quiet(c Color) int {
+	//lvlint:ignore exhaustive fixture exercising the suppression path
+	switch c {
+	case Red:
+		return 1
+	}
+	return 0
+}

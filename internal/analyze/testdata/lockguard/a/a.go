@@ -1,0 +1,55 @@
+package a
+
+import "sync"
+
+// Registry is a concurrent name table.
+type Registry struct {
+	mu sync.Mutex
+	// guarded by mu
+	names map[string]int
+}
+
+// Bad: reads the guarded field without the lock.
+func (r *Registry) Peek(name string) int {
+	return r.names[name] // want "never locks mu"
+}
+
+// Good: locks.
+func (r *Registry) Get(name string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.names[name]
+}
+
+// Good: the Locked suffix documents that the caller holds mu.
+func (r *Registry) getLocked(name string) int {
+	return r.names[name]
+}
+
+// Good: composite literals initialize a value no other goroutine sees.
+func NewRegistry() *Registry {
+	return &Registry{names: map[string]int{}}
+}
+
+var (
+	tableMu sync.RWMutex
+	table   = map[string]int{} // guarded by tableMu
+)
+
+// Bad: package-level access without the lock.
+func Lookup(name string) int {
+	return table[name] // want "never locks tableMu"
+}
+
+// Good.
+func SafeLookup(name string) int {
+	tableMu.RLock()
+	defer tableMu.RUnlock()
+	return table[name]
+}
+
+// Suppressed finding: the ignore comment shields the next line.
+func Seed(n int) {
+	//lvlint:ignore lockguard fixture exercising the suppression path
+	table["seed"] = n
+}

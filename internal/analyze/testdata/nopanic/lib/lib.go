@@ -1,0 +1,38 @@
+// Package lib is a library: panics must stay behind Must helpers.
+package lib
+
+import "errors"
+
+// Bad: a bare panic crosses the library boundary.
+func Explode() {
+	panic("boom") // want "panic in library function Explode"
+}
+
+// Good: the Must prefix advertises the panic.
+func MustParse(ok bool) int {
+	if !ok {
+		panic("lib: bad input")
+	}
+	return 1
+}
+
+// Good: init may panic (configuration errors surface at startup).
+func init() {
+	if false {
+		panic("unreachable")
+	}
+}
+
+// Good: errors are the library-boundary contract.
+func Parse(ok bool) (int, error) {
+	if !ok {
+		return 0, errors.New("lib: bad input")
+	}
+	return 1, nil
+}
+
+// Suppressed finding: the ignore comment shields the next line.
+func Invariant() {
+	//lvlint:ignore nopanic fixture exercising the suppression path
+	panic("documented invariant")
+}

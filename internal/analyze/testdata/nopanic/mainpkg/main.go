@@ -1,0 +1,7 @@
+// Command mainpkg shows the clean case: package main may panic — a CLI
+// crashing loudly is the desired failure mode.
+package main
+
+func main() {
+	panic("CLIs may crash loudly")
+}

@@ -1,0 +1,49 @@
+package a
+
+import "test/unitcheck/units"
+
+// Point mirrors a DVFS operating point.
+type Point struct {
+	VoltageMV int
+}
+
+// Bad then good: a volts value into a millivolt parameter across the
+// package boundary, then the matching unit.
+func Calls() float64 {
+	supplyVolts := 0.4
+	bad := units.SetVoltageMV(supplyVolts) // want "V/mV unit mismatch"
+	voltageMV := 400.0
+	good := units.SetVoltageMV(voltageMV)
+	return bad + good
+}
+
+// Bad: nanojoules into a picojoule parameter.
+func Energies(storedNJ float64) float64 {
+	return units.ScaleEnergyPJ(storedNJ) // want "nJ/pJ unit mismatch"
+}
+
+// Bad: struct field assignment.
+func Fields(railVolts int) Point {
+	return Point{VoltageMV: railVolts} // want "V/mV unit mismatch"
+}
+
+// Good.
+func FieldsGood(railMV int) Point {
+	return Point{VoltageMV: railMV}
+}
+
+// Bad: plain assignment between mismatched frequencies.
+func Assign() float64 {
+	freqGHz := 2.0
+	var freqMHz float64
+	freqMHz = freqGHz // want "GHz/MHz unit mismatch"
+	return freqMHz
+}
+
+// Suppressed finding: the ignore comment shields the next line.
+func Quiet(tickNS int64) int64 {
+	var tickPS int64
+	//lvlint:ignore unitcheck fixture exercising the suppression path
+	tickPS = tickNS
+	return tickPS
+}

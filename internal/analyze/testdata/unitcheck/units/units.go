@@ -1,0 +1,10 @@
+// Package units provides callees whose parameter names carry units, so
+// the caller-side fixture demonstrates checking across a package
+// boundary through go/types signatures.
+package units
+
+// SetVoltageMV expects millivolts.
+func SetVoltageMV(voltageMV float64) float64 { return voltageMV }
+
+// ScaleEnergyPJ expects picojoules.
+func ScaleEnergyPJ(energyPJ float64) float64 { return energyPJ }

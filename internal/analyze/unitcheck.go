@@ -1,0 +1,183 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+	"unicode"
+)
+
+// UnitCheck enforces the identifier-suffix unit convention across call
+// boundaries, assignments and struct literals. The codebase encodes
+// physical units in the last camel-case word of an identifier
+// (VoltageMV, FO4DelayPS, L2ReadEnergyPJ); passing a value whose name
+// carries one unit to a parameter or field whose name carries a
+// *different* unit of the same dimension (mV into a Volts slot, pJ into
+// nJ) is a silent 1000x error — exactly the slip that would collapse the
+// gap between the 760 mV Vccmin and the 400 mV operating point.
+var UnitCheck = &Analyzer{
+	Name: "unitcheck",
+	Doc:  "mV/V, pJ/nJ, MHz/GHz, ns/ps identifier-suffix consistency across call boundaries",
+	Run:  runUnitCheck,
+}
+
+// unit is one recognized suffix with its physical dimension.
+type unit struct {
+	dim  string // "voltage", "energy", "frequency", "time"
+	name string // canonical spelling for messages
+}
+
+// unitSuffixes lists the recognized suffixes (lower-cased) in the order
+// they are tried. Bare "v" and "j" are deliberately absent: single
+// letters are ubiquitous as generic variable names.
+var unitSuffixes = []struct {
+	suffix string
+	unit   unit
+}{
+	{"mv", unit{"voltage", "mV"}},
+	{"uv", unit{"voltage", "uV"}},
+	{"volts", unit{"voltage", "V"}},
+	{"pj", unit{"energy", "pJ"}},
+	{"nj", unit{"energy", "nJ"}},
+	{"uj", unit{"energy", "uJ"}},
+	{"mhz", unit{"frequency", "MHz"}},
+	{"ghz", unit{"frequency", "GHz"}},
+	{"khz", unit{"frequency", "kHz"}},
+	{"ns", unit{"time", "ns"}},
+	{"ps", unit{"time", "ps"}},
+	{"us", unit{"time", "us"}},
+}
+
+// unitOf extracts the unit carried by an identifier name, if any. A
+// suffix counts when it is the whole identifier ("mv"), follows a
+// snake-case underscore ("freq_mhz"), or starts a camel-case word —
+// its first rune is uppercase and the rune before it is lowercase or a
+// digit ("VoltageMV", "freqMHz", "FO4DelayPS"). A lowercase suffix
+// embedded in a longer lowercase word ("radius" ending in "us") does
+// not count.
+func unitOf(name string) (unit, bool) {
+	lower := strings.ToLower(name)
+	for _, e := range unitSuffixes {
+		if !strings.HasSuffix(lower, e.suffix) {
+			continue
+		}
+		i := len(name) - len(e.suffix)
+		if i == 0 {
+			return e.unit, true
+		}
+		prev, head := rune(name[i-1]), rune(name[i])
+		if prev == '_' {
+			return e.unit, true
+		}
+		if unicode.IsUpper(head) && (unicode.IsLower(prev) || unicode.IsDigit(prev)) {
+			return e.unit, true
+		}
+	}
+	return unit{}, false
+}
+
+func runUnitCheck(pass *Pass) {
+	info := pass.TypesInfo()
+	inspect(pass, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkCallUnits(pass, info, n)
+		case *ast.AssignStmt:
+			for i := range n.Lhs {
+				if i < len(n.Rhs) && len(n.Lhs) == len(n.Rhs) {
+					checkUnitPair(pass, n.Rhs[i].Pos(), exprUnitName(n.Lhs[i]), exprUnitName(n.Rhs[i]), "assigning", "to")
+				}
+			}
+		case *ast.CompositeLit:
+			if _, ok := info.TypeOf(n).Underlying().(*types.Struct); !ok {
+				return true
+			}
+			for _, el := range n.Elts {
+				kv, ok := el.(*ast.KeyValueExpr)
+				if !ok {
+					continue
+				}
+				key, ok := kv.Key.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				checkUnitPair(pass, kv.Value.Pos(), key.Name, exprUnitName(kv.Value), "assigning", "to field")
+			}
+		}
+		return true
+	})
+}
+
+// checkCallUnits compares each argument's unit-bearing name against the
+// callee's parameter name, resolved through the go/types signature so
+// the check crosses package boundaries.
+func checkCallUnits(pass *Pass, info *types.Info, call *ast.CallExpr) {
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok || sig.Params() == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		pi := i
+		if sig.Variadic() && pi >= params.Len()-1 {
+			pi = params.Len() - 1
+		}
+		if pi >= params.Len() {
+			break
+		}
+		checkUnitPair(pass, arg.Pos(), params.At(pi).Name(), exprUnitName(arg), "passing", "as parameter")
+	}
+}
+
+// checkUnitPair reports when src and dst both carry units of the same
+// dimension but disagree on the unit.
+func checkUnitPair(pass *Pass, pos token.Pos, dstName, srcName, verb, prep string) {
+	if dstName == "" || srcName == "" {
+		return
+	}
+	du, ok := unitOf(dstName)
+	if !ok {
+		return
+	}
+	su, ok := unitOf(srcName)
+	if !ok {
+		return
+	}
+	if du.dim == su.dim && du.name != su.name {
+		pass.Reportf(pos, "%s %s (%s) %s %s (%s): %s/%s unit mismatch",
+			verb, srcName, su.name, prep, dstName, du.name, su.name, du.name)
+	}
+}
+
+// exprUnitName digs the unit-carrying identifier out of an argument
+// expression: a plain identifier, a selector's field, a called
+// function's name (its result carries the unit), or any of those behind
+// *, &, parentheses or a numeric conversion.
+func exprUnitName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	case *ast.StarExpr:
+		return exprUnitName(e.X)
+	case *ast.UnaryExpr:
+		return exprUnitName(e.X)
+	case *ast.ParenExpr:
+		return exprUnitName(e.X)
+	case *ast.CallExpr:
+		// float64(x) conversions keep x's unit; f(...) carries f's unit.
+		if id, ok := e.Fun.(*ast.Ident); ok {
+			switch id.Name {
+			case "float64", "float32", "int", "int64", "int32", "uint64", "uint32", "uint":
+				if len(e.Args) == 1 {
+					return exprUnitName(e.Args[0])
+				}
+			}
+			return id.Name
+		}
+		return exprUnitName(e.Fun)
+	}
+	return ""
+}

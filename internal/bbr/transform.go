@@ -96,6 +96,8 @@ func Transform(p *program.Program, cfg TransformConfig) (*program.Program, Trans
 			if b.ExplicitFall {
 				b.FallTarget = firstPiece[b.FallTarget]
 			}
+		case program.TermFall, program.TermExit:
+			// No target to rewrite.
 		}
 		if b.LiteralWords > 0 {
 			stats.MovedLiterals++
@@ -152,6 +154,9 @@ func splitBlock(old *program.BasicBlock, oldID program.BlockID, threshold int, s
 			stats.InsertedJumps++
 			stats.AddedWords++
 		}
+	case program.TermJump, program.TermExit:
+		// Already end in an explicit control transfer (or the program
+		// end); position-independent as-is.
 	}
 
 	size := len(kinds)

@@ -278,6 +278,8 @@ func New(cfg Config) (*Cache, error) {
 		c.plru = make([]uint32, cfg.Sets())
 	case ReplaceFIFO:
 		c.fifo = make([]uint32, cfg.Sets())
+	case ReplaceLRU:
+		// True LRU keeps per-line ages in the line array itself.
 	}
 	return c, nil
 }

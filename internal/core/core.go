@@ -105,6 +105,7 @@ type NextLevel struct {
 // over a memory with the given latency in core cycles.
 func NewNextLevel(memLatencyCycles int) *NextLevel {
 	if memLatencyCycles < 1 {
+		//lvlint:ignore nopanic documented constructor guard: latency is a static config decision, not runtime input
 		panic(fmt.Sprintf("core: memory latency %d cycles must be >= 1", memLatencyCycles))
 	}
 	return &NextLevel{

@@ -172,6 +172,8 @@ func Run(cfg Config, s *workload.Stream, ic core.InstrCache, dc core.DataCache, 
 				// The recovery refill goes through the L1I.
 				r.L1Cycles += float64(ic.HitLatency())
 			}
+		case program.KindALU:
+			// Register-to-register work is covered by the base CPI.
 		}
 
 		if in.DependsOnLoad {

@@ -35,6 +35,7 @@ type Map struct {
 // cache configuration, not runtime data.
 func New(words int) *Map {
 	if words <= 0 {
+		//lvlint:ignore nopanic documented constructor guard: array geometry is fixed by the cache configuration
 		panic("faultmap: New requires words > 0")
 	}
 	return &Map{words: words, set: make([]uint64, (words+63)/64)}
@@ -57,6 +58,7 @@ func (m *Map) Defective(w int) bool {
 // Out-of-range indices panic: they indicate a geometry bug.
 func (m *Map) SetDefective(w int, defective bool) {
 	if w < 0 || w >= m.words {
+		//lvlint:ignore nopanic documented bounds panic mirroring slice semantics: out-of-range means a geometry bug
 		panic(fmt.Sprintf("faultmap: word %d out of range [0,%d)", w, m.words))
 	}
 	mask := uint64(1) << (uint(w) & 63)
@@ -206,6 +208,7 @@ type Series struct {
 // inverse CDF (1-(1-u)^(1/32)) — one draw per word instead of 32.
 func NewSeries(words int, rng *rand.Rand) *Series {
 	if words <= 0 {
+		//lvlint:ignore nopanic documented constructor guard: array geometry is fixed by the cache configuration
 		panic("faultmap: NewSeries requires words > 0")
 	}
 	t := make([]float64, words)

@@ -92,6 +92,7 @@ func MarchCMinus(a *Array) *MarchResult {
 // it panics on out-of-range indices.
 func (a *Array) WithDecoderFault(from, to int) {
 	if from < 0 || from >= len(a.data) || to < 0 || to >= len(a.data) {
+		//lvlint:ignore nopanic documented bounds panic in a test-injection helper
 		panic("faultmap: decoder fault indices out of range")
 	}
 	if a.alias == nil {

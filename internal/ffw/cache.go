@@ -247,6 +247,7 @@ func (c *Cache) Read(addr uint64) core.AccessOutcome {
 // backing image on a miss (the forwarded fill data).
 func (c *Cache) ReadWord(addr uint64) (core.AccessOutcome, uint32) {
 	if c.data == nil {
+		//lvlint:ignore nopanic documented API-misuse guard: calling a data-path method on a timing-only cache is a wiring bug
 		panic("ffw: ReadWord requires Options.TrackData")
 	}
 	set, way := c.lookup(addr)
@@ -294,6 +295,7 @@ func (c *Cache) Write(addr uint64) core.AccessOutcome {
 // and evictions (the property that lets FFW discard words freely).
 func (c *Cache) WriteWord(addr uint64, v uint32) core.AccessOutcome {
 	if c.data == nil {
+		//lvlint:ignore nopanic documented API-misuse guard: calling a data-path method on a timing-only cache is a wiring bug
 		panic("ffw: WriteWord requires Options.TrackData")
 	}
 	c.written[cache.WordAddr(addr)] = v

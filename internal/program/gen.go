@@ -112,6 +112,7 @@ func geometric(mean float64, rng *rand.Rand) int {
 func Generate(cfg GenConfig, rng *rand.Rand) *Program {
 	cfg = cfg.withDefaults()
 	if cfg.Blocks < 2 {
+		//lvlint:ignore nopanic documented generator guard: block count comes from static benchmark profiles
 		panic(fmt.Sprintf("program: Generate requires >= 2 blocks, got %d", cfg.Blocks))
 	}
 	n := cfg.Blocks
@@ -204,6 +205,7 @@ func Generate(cfg GenConfig, rng *rand.Rand) *Program {
 	}
 
 	if err := p.Validate(); err != nil {
+		//lvlint:ignore nopanic internal self-check: an invalid generated CFG is a generator bug, not an input condition
 		panic(fmt.Sprintf("program: generator produced invalid CFG: %v", err))
 	}
 	return p

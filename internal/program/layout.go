@@ -21,6 +21,7 @@ type sequentialLayout struct {
 // placement every non-BBR scheme runs with.
 func NewSequentialLayout(p *Program, base uint64) Layout {
 	if base%4 != 0 {
+		//lvlint:ignore nopanic documented alignment guard: layout bases are compile-time constants
 		panic("program: layout base must be word-aligned")
 	}
 	addrs := make([]uint64, len(p.Blocks))

@@ -49,6 +49,7 @@ func New8T(next *core.NextLevel) *Plain {
 
 func newPlain(name string, next *core.NextLevel, extraLatency int) *Plain {
 	if next == nil {
+		//lvlint:ignore nopanic nil-receiver wiring bug caught at construction, like cache.MustNew below
 		panic("schemes: nil next level")
 	}
 	return &Plain{

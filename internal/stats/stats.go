@@ -171,9 +171,11 @@ type Histogram struct {
 // programming decision, not runtime input.
 func NewHistogram(lo, hi float64, bins int) *Histogram {
 	if bins < 1 {
+		//lvlint:ignore nopanic documented guard: histogram geometry is a programming decision, not runtime input
 		panic("stats: NewHistogram requires bins >= 1")
 	}
 	if hi <= lo {
+		//lvlint:ignore nopanic documented guard: histogram geometry is a programming decision, not runtime input
 		panic("stats: NewHistogram requires hi > lo")
 	}
 	return &Histogram{Lo: lo, Hi: hi, Counts: make([]uint64, bins)}

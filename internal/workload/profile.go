@@ -209,7 +209,7 @@ func (p Profile) Validate() error {
 
 var (
 	customMu sync.RWMutex
-	custom   = map[string]Profile{}
+	custom   = map[string]Profile{} // guarded by customMu
 )
 
 // Register makes a custom profile resolvable by name. Registering a name

@@ -107,6 +107,8 @@ func (s *Stream) Next() Instr {
 			// captures these; they redirect but are not mispredicted.
 			in.Taken = true
 		}
+	case program.KindALU:
+		// No memory address or control flow to synthesize.
 	}
 	if s.prevWasLoad && in.Kind != program.KindBranch {
 		in.DependsOnLoad = s.rng.Float64() < s.prof.LoadUseDepProb

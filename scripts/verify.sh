@@ -1,0 +1,30 @@
+#!/bin/sh
+# Tier-1 verification gate. Run from the repository root.
+#
+#   build  — everything compiles, including examples and testdata-free cmds
+#   vet    — stdlib vet checks
+#   lvlint — the repo's own analyzers (determinism, unitcheck, exhaustive,
+#            errdrop, lockguard, nopanic); nonzero exit on any finding
+#   test   — full unit/integration suite
+#   race   — race detector on the packages with shared mutable state
+#            (the simulator fan-out and the cache model it drives)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo '== go build ./...'
+go build ./...
+
+echo '== go vet ./...'
+go vet ./...
+
+echo '== go run ./cmd/lvlint ./...'
+go run ./cmd/lvlint ./...
+
+echo '== go test ./...'
+go test ./...
+
+echo '== go test -race ./internal/sim/... ./internal/cache/...'
+go test -race ./internal/sim/... ./internal/cache/...
+
+echo 'verify: all gates passed'
