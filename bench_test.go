@@ -8,8 +8,10 @@
 package lvcache
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/bbr"
@@ -183,6 +185,33 @@ func BenchmarkFig12EPI(b *testing.B) {
 		}
 	}
 	b.ReportMetric(reduction, "epi-reduction-%")
+}
+
+// BenchmarkFig10GridWorkers measures the experiment engine's wall-clock
+// scaling: the same reduced Figures 10–12 grid at one worker versus the
+// machine's full width. Each iteration gets a fresh engine — reusing one
+// would turn every iteration after the first into pure memo hits and
+// measure nothing. The two sub-benchmarks' ns/op ratio is the engine's
+// speedup on this machine (≈1 on a single-core host).
+func BenchmarkFig10GridWorkers(b *testing.B) {
+	cfg := sim.QuickConfig()
+	cfg.Instructions = 60_000
+	benchmarks := []string{"basicmath", "qsort"}
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			ops := []dvfs.OperatingPoint{opAt(b, 560), opAt(b, 400)}
+			for i := 0; i < b.N; i++ {
+				eng := sim.NewEngine(workers)
+				cells, err := eng.Evaluate(context.Background(), cfg, sim.EvalSchemes(), benchmarks, ops)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(cells) != len(sim.EvalSchemes())*len(ops) {
+					b.Fatalf("grid has %d cells", len(cells))
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkAblationWindowPlacement compares FFW's two window placement

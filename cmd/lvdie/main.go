@@ -10,10 +10,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"text/tabwriter"
 
 	"repro/internal/cpu"
@@ -25,16 +28,21 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("lvdie: ")
 	var (
-		bench  = flag.String("bench", "basicmath", "benchmark; one of "+fmt.Sprint(workload.Names()))
-		scheme = flag.String("scheme", string(sim.FFWBBR), "scheme to sweep")
-		die    = flag.Int64("die", 1, "die seed (identifies one chip's defects)")
-		dies   = flag.Int("dies", 1, "sweep this many dies and summarize the optimal points")
-		n      = flag.Uint64("n", 200_000, "useful instructions per run")
+		bench   = flag.String("bench", "basicmath", "benchmark; one of "+fmt.Sprint(workload.Names()))
+		scheme  = flag.String("scheme", string(sim.FFWBBR), "scheme to sweep")
+		die     = flag.Int64("die", 1, "die seed (identifies one chip's defects)")
+		dies    = flag.Int("dies", 1, "sweep this many dies and summarize the optimal points")
+		n       = flag.Uint64("n", 200_000, "useful instructions per run")
+		workers = flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	eng := sim.NewEngine(*workers)
+
 	if *dies <= 1 {
-		sweep, err := sim.SweepDie(sim.Scheme(*scheme), *bench, *die, *die, *n, cpu.DefaultConfig())
+		sweep, err := eng.SweepDie(ctx, sim.Scheme(*scheme), *bench, *die, *die, *n, cpu.DefaultConfig())
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -59,10 +67,14 @@ func main() {
 	}
 
 	// Multi-die mode: where does the optimum land across the population?
+	// Dies run sequentially — each SweepDie already fans its operating
+	// points out on the engine's pool, and nesting a second Map on the
+	// same pool would deadlock it. The conventional baseline is the same
+	// RunSpec for every die, so the memo simulates it once.
 	picks := map[int]int{}
 	var savings float64
 	for d := int64(0); d < int64(*dies); d++ {
-		sweep, err := sim.SweepDie(sim.Scheme(*scheme), *bench, d, 1, *n, cpu.DefaultConfig())
+		sweep, err := eng.SweepDie(ctx, sim.Scheme(*scheme), *bench, d, 1, *n, cpu.DefaultConfig())
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -14,13 +14,16 @@
 package main
 
 import (
+	"context"
 	csvpkg "encoding/csv"
 	"flag"
 	"fmt"
 	"log"
 	"math"
 	"os"
+	"os/signal"
 	"strconv"
+	"syscall"
 	"text/tabwriter"
 
 	"repro/internal/cacti"
@@ -33,15 +36,16 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("lvreport: ")
 	var (
-		fig   = flag.Int("fig", 0, "figure to regenerate (2, 3, 6, 9, 10, 11, 12)")
-		table = flag.Int("table", 0, "table to regenerate (3)")
-		yield = flag.Bool("yield", false, "per-scheme yield analysis (Fig. 10's Wilkerson note)")
-		all   = flag.Bool("all", false, "regenerate everything")
-		quick = flag.Bool("quick", false, "reduced Monte Carlo scale (fast)")
-		plots = flag.Bool("plot", false, "render ASCII charts alongside the tables")
-		csv   = flag.String("csv", "", "also write the Figures 10-12 grid to this CSV file")
-		ext   = flag.Bool("ext", false, "include the SECDED and Bit-fix extension baselines in the evaluation grid")
-		seed  = flag.Int64("seed", 1, "master random seed")
+		fig     = flag.Int("fig", 0, "figure to regenerate (2, 3, 6, 9, 10, 11, 12)")
+		table   = flag.Int("table", 0, "table to regenerate (3)")
+		yield   = flag.Bool("yield", false, "per-scheme yield analysis (Fig. 10's Wilkerson note)")
+		all     = flag.Bool("all", false, "regenerate everything")
+		quick   = flag.Bool("quick", false, "reduced Monte Carlo scale (fast)")
+		plots   = flag.Bool("plot", false, "render ASCII charts alongside the tables")
+		csv     = flag.String("csv", "", "also write the Figures 10-12 grid to this CSV file")
+		ext     = flag.Bool("ext", false, "include the SECDED and Bit-fix extension baselines in the evaluation grid")
+		seed    = flag.Int64("seed", 1, "master random seed")
+		workers = flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -52,6 +56,13 @@ func main() {
 	}
 	cfg.Seed = *seed
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	// One engine for the whole report: figures sharing baseline runs
+	// (10-12's defect-free grid, the yield table's maps) hit the memo
+	// instead of re-simulating.
+	eng := sim.NewEngine(*workers)
+
 	want := func(f int) bool { return *all || *fig == f }
 	did := false
 	if want(2) {
@@ -59,11 +70,11 @@ func main() {
 		did = true
 	}
 	if want(3) {
-		fig3(cfg, *plots)
+		fig3(ctx, eng, cfg, *plots)
 		did = true
 	}
 	if want(6) {
-		fig6(cfg)
+		fig6(ctx, eng, cfg)
 		did = true
 	}
 	if want(9) {
@@ -79,11 +90,11 @@ func main() {
 		if *ext {
 			schemes = append(schemes, sim.SECDEDScheme, sim.BitFixScheme)
 		}
-		figures101112(cfg, schemes, *plots, *csv)
+		figures101112(ctx, eng, cfg, schemes, *plots, *csv)
 		did = true
 	}
 	if *all || *yield {
-		yieldTable(cfg)
+		yieldTable(ctx, eng, cfg)
 		did = true
 	}
 	if !did {
@@ -125,9 +136,9 @@ func fig2(plots bool) {
 	}
 }
 
-func fig3(cfg sim.Config, plots bool) {
+func fig3(ctx context.Context, eng *sim.Engine, cfg sim.Config, plots bool) {
 	fmt.Println("\n== Figure 3: spatial locality and word reuse (10k-instruction intervals) ==")
-	res, err := sim.Fig3(int(cfg.Instructions), cfg.Seed)
+	res, err := eng.Fig3(ctx, int(cfg.Instructions), cfg.Seed)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -172,14 +183,14 @@ func sparkline(norm []float64) string {
 	return "[" + string(out) + "]"
 }
 
-func fig6(cfg sim.Config) {
+func fig6(ctx context.Context, eng *sim.Engine, cfg sim.Config) {
 	fmt.Println("\n== Figure 6: effective I-cache capacity, basicmath @ 400 mV ==")
 	op, _ := dvfs.PointAt(400)
 	maps := cfg.MaxMaps * 5
 	if maps > 200 {
 		maps = 200
 	}
-	res, err := sim.Fig6("basicmath", op, maps, cfg.Seed)
+	res, err := eng.Fig6(ctx, "basicmath", op, maps, cfg.Seed)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -223,10 +234,11 @@ func table3() {
 	w.Flush()
 }
 
-func figures101112(cfg sim.Config, schemes []sim.Scheme, plots bool, csvPath string) {
+func figures101112(ctx context.Context, eng *sim.Engine, cfg sim.Config, schemes []sim.Scheme, plots bool, csvPath string) {
 	fmt.Println("\n== Figures 10-12: runtime / L2 accesses / EPI over the DVFS region ==")
-	fmt.Printf("(instructions/run=%d, maps/cell<=%d, margin=%.0f%%)\n", cfg.Instructions, cfg.MaxMaps, 100*cfg.Margin)
-	cells, err := sim.Evaluate(cfg, schemes, nil, nil)
+	fmt.Printf("(instructions/run=%d, maps/cell<=%d, margin=%.0f%%, workers=%d)\n",
+		cfg.Instructions, cfg.MaxMaps, 100*cfg.Margin, eng.Workers())
+	cells, err := eng.Evaluate(ctx, cfg, schemes, nil, nil)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -363,13 +375,13 @@ func printGrid(w *tabwriter.Writer, cells []sim.EvalCell, schemes []sim.Scheme, 
 	}
 }
 
-func yieldTable(cfg sim.Config) {
+func yieldTable(ctx context.Context, eng *sim.Engine, cfg sim.Config) {
 	fmt.Println("\n== Yield analysis (Fig. 10's note: plain Wilkerson cannot reach 99.9% below 480 mV) ==")
 	maps := cfg.MaxMaps * 10
 	if maps > 400 {
 		maps = 400
 	}
-	rows, err := sim.YieldAnalysis(maps, cfg.Seed)
+	rows, err := eng.YieldAnalysis(ctx, maps, cfg.Seed)
 	if err != nil {
 		log.Fatal(err)
 	}

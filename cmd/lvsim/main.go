@@ -5,19 +5,24 @@
 //
 //	lvsim -scheme FFW+BBR -bench basicmath -mv 400
 //	lvsim -mv 440 -n 1000000 -maps 10          # all schemes, all benchmarks
+//	lvsim -mv 400 -workers 2                   # bound the worker pool
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 	"text/tabwriter"
 
 	"repro/internal/cpu"
 	"repro/internal/dvfs"
 	"repro/internal/energy"
+	"repro/internal/engine"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -33,6 +38,7 @@ func main() {
 		n       = flag.Uint64("n", 400_000, "useful instructions per run")
 		maps    = flag.Int("maps", 5, "Monte Carlo fault maps per cell")
 		seed    = flag.Int64("seed", 1, "master random seed")
+		workers = flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
 		profile = flag.String("profile", "", "JSON file with a custom workload profile to register")
 	)
 	flag.Parse()
@@ -70,49 +76,76 @@ func main() {
 		benchmarks = []string{*bench}
 	}
 
-	model := energy.DefaultModel()
-	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "scheme\tbenchmark\tCPI\truntime(ms)\tL2/1k-instr\tEPI(norm)\tyield-fails")
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	eng := sim.NewEngine(*workers)
+
+	// Every (scheme, benchmark) row is one engine job; the Monte Carlo
+	// loop inside a row is sequential. The conventional 760 mV baseline
+	// goes through the run memo, so all schemes of one benchmark share a
+	// single baseline simulation, and rows print in request order no
+	// matter which finishes first.
+	type rowKey struct {
+		s sim.Scheme
+		b string
+	}
+	rows := make([]rowKey, 0, len(schemes)*len(benchmarks))
 	for _, s := range schemes {
 		for _, b := range benchmarks {
-			var cpis, runtimes, l2ks, epis []float64
-			yieldFails := 0
-			baseline, err := sim.Run(sim.RunSpec{
-				Scheme: sim.Conventional, Benchmark: b, Op: dvfs.Nominal(),
-				WorkSeed: *seed, Instructions: *n, CPU: cpu.DefaultConfig(),
+			rows = append(rows, rowKey{s, b})
+		}
+	}
+	model := energy.DefaultModel()
+	lines, err := engine.Map(ctx, eng.Pool(), len(rows), func(ctx context.Context, i int) (string, error) {
+		s, b := rows[i].s, rows[i].b
+		baseline, err := eng.Run(ctx, sim.RunSpec{
+			Scheme: sim.Conventional, Benchmark: b, Op: dvfs.Nominal(),
+			WorkSeed: *seed, Instructions: *n, CPU: cpu.DefaultConfig(),
+		})
+		if err != nil {
+			return "", err
+		}
+		var cpis, runtimes, l2ks, epis []float64
+		yieldFails := 0
+		for m := 0; m < *maps; m++ {
+			if err := ctx.Err(); err != nil {
+				return "", err
+			}
+			r, err := eng.Run(ctx, sim.RunSpec{
+				Scheme: s, Benchmark: b, Op: op,
+				MapSeed: *seed + int64(m), WorkSeed: *seed,
+				Instructions: *n, CPU: cpu.DefaultConfig(),
 			})
-			if err != nil {
-				log.Fatal(err)
-			}
-			for m := 0; m < *maps; m++ {
-				r, err := sim.Run(sim.RunSpec{
-					Scheme: s, Benchmark: b, Op: op,
-					MapSeed: *seed + int64(m), WorkSeed: *seed,
-					Instructions: *n, CPU: cpu.DefaultConfig(),
-				})
-				if errors.Is(err, sim.ErrYield) {
-					yieldFails++
-					continue
-				}
-				if err != nil {
-					log.Fatal(err)
-				}
-				norm, err := model.Normalized(r, op, sim.L1StaticFactor(s), baseline)
-				if err != nil {
-					log.Fatal(err)
-				}
-				cpis = append(cpis, r.CPI())
-				runtimes = append(runtimes, 1e3*r.RuntimeSeconds(op.FreqMHz))
-				l2ks = append(l2ks, r.L2PerKiloInstr())
-				epis = append(epis, norm)
-			}
-			if len(cpis) == 0 {
-				fmt.Fprintf(w, "%s\t%s\t-\t-\t-\t-\t%d\n", s, b, yieldFails)
+			if errors.Is(err, sim.ErrYield) {
+				yieldFails++
 				continue
 			}
-			fmt.Fprintf(w, "%s\t%s\t%.3f\t%.3f\t%.1f\t%.3f\t%d\n",
-				s, b, stats.Mean(cpis), stats.Mean(runtimes), stats.Mean(l2ks), stats.Mean(epis), yieldFails)
+			if err != nil {
+				return "", err
+			}
+			norm, err := model.Normalized(r, op, sim.L1StaticFactor(s), baseline)
+			if err != nil {
+				return "", err
+			}
+			cpis = append(cpis, r.CPI())
+			runtimes = append(runtimes, 1e3*r.RuntimeSeconds(op.FreqMHz))
+			l2ks = append(l2ks, r.L2PerKiloInstr())
+			epis = append(epis, norm)
 		}
+		if len(cpis) == 0 {
+			return fmt.Sprintf("%s\t%s\t-\t-\t-\t-\t%d", s, b, yieldFails), nil
+		}
+		return fmt.Sprintf("%s\t%s\t%.3f\t%.3f\t%.1f\t%.3f\t%d",
+			s, b, stats.Mean(cpis), stats.Mean(runtimes), stats.Mean(l2ks), stats.Mean(epis), yieldFails), nil
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "scheme\tbenchmark\tCPI\truntime(ms)\tL2/1k-instr\tEPI(norm)\tyield-fails")
+	for _, line := range lines {
+		fmt.Fprintln(w, line)
 	}
 	w.Flush()
 }

@@ -1,0 +1,107 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// Memo is a concurrency-safe, singleflight memoization table: for each
+// key the computation runs exactly once, concurrent requesters for the
+// same key wait on the one in-flight computation, and completed results
+// (including non-transient errors) are cached for the Memo's lifetime.
+//
+// The experiment driver keys a Memo by RunSpec, so a simulation pinned
+// by (scheme, benchmark, operating point, seeds) — a defect-free
+// baseline shared by several figures, say — is never simulated twice on
+// the same engine.
+type Memo[K comparable, V any] struct {
+	mu sync.Mutex
+	// flights maps each key to its single computation. guarded by mu
+	flights map[K]*flight[V]
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// flight is one per-key computation; done closes when val/err are set.
+type flight[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+}
+
+// NewMemo returns an empty memoization table.
+func NewMemo[K comparable, V any]() *Memo[K, V] {
+	return &Memo[K, V]{flights: make(map[K]*flight[V])}
+}
+
+// Do returns the memoized result for key, computing it with fn on the
+// first request. Concurrent calls with the same key share one
+// computation; callers that find a computation already in flight (or
+// finished) count as hits and wait for it, honouring their own ctx. A
+// computation that fails with the context's cancellation error is
+// forgotten rather than cached, so a later request retries; every other
+// error is cached like a value — reruns of a deterministic computation
+// would fail identically.
+func (m *Memo[K, V]) Do(ctx context.Context, key K, fn func() (V, error)) (V, error) {
+	m.mu.Lock()
+	if f, ok := m.flights[key]; ok {
+		m.mu.Unlock()
+		m.hits.Add(1)
+		select {
+		case <-f.done:
+			return f.val, f.err
+		case <-ctx.Done():
+			var zero V
+			return zero, ctx.Err()
+		}
+	}
+	f := &flight[V]{done: make(chan struct{})}
+	m.flights[key] = f
+	m.mu.Unlock()
+	m.misses.Add(1)
+
+	defer func() {
+		if r := recover(); r != nil {
+			// Contain the panic long enough to release waiters with a
+			// real error and drop the poisoned entry, then let it
+			// continue into the scheduler's containment (Map wraps it
+			// in a *PanicError and cancels the run).
+			f.err = &PanicError{Value: r, Stack: debug.Stack()}
+			m.forget(key)
+			close(f.done)
+			//lvlint:ignore nopanic re-propagating a contained job panic so engine.Map can report it
+			panic(r)
+		}
+	}()
+	f.val, f.err = fn()
+	if f.err != nil && (errors.Is(f.err, context.Canceled) || errors.Is(f.err, context.DeadlineExceeded)) {
+		m.forget(key)
+	}
+	close(f.done)
+	return f.val, f.err
+}
+
+// forget drops a key so the next Do recomputes it.
+func (m *Memo[K, V]) forget(key K) {
+	m.mu.Lock()
+	delete(m.flights, key)
+	m.mu.Unlock()
+}
+
+// Hits counts Do calls that were served by (or waited on) an existing
+// computation.
+func (m *Memo[K, V]) Hits() int64 { return m.hits.Load() }
+
+// Misses counts Do calls that ran their computation.
+func (m *Memo[K, V]) Misses() int64 { return m.misses.Load() }
+
+// Len returns the number of cached (or in-flight) keys.
+func (m *Memo[K, V]) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.flights)
+}

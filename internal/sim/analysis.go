@@ -1,11 +1,13 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"repro/internal/bbr"
 	"repro/internal/dvfs"
+	"repro/internal/engine"
 	"repro/internal/faultmap"
 	"repro/internal/program"
 	"repro/internal/schemes"
@@ -30,11 +32,18 @@ type Fig3Result struct {
 // Fig3 measures spatial locality and word reuse for every benchmark with
 // the paper's 10k-instruction interval method.
 func Fig3(instructions int, seed int64) ([]Fig3Result, error) {
-	var out []Fig3Result
-	for _, prof := range workload.Profiles() {
+	return NewEngine(0).Fig3(context.Background(), instructions, seed)
+}
+
+// Fig3 runs the per-benchmark interval analysis as one engine job per
+// benchmark, results in suite order.
+func (e *Engine) Fig3(ctx context.Context, instructions int, seed int64) ([]Fig3Result, error) {
+	profs := workload.Profiles()
+	return engine.Map(ctx, e.pool, len(profs), func(ctx context.Context, i int) (Fig3Result, error) {
+		prof := profs[i]
 		prog, err := workload.BuildProgram(prof, seed, nil)
 		if err != nil {
-			return nil, err
+			return Fig3Result{}, err
 		}
 		s := workload.NewStream(prof, prog, program.NewSequentialLayout(prog, 0), seed)
 		a := trace.NewAnalyzer(trace.IntervalInstrs)
@@ -45,9 +54,8 @@ func Fig3(instructions int, seed int64) ([]Fig3Result, error) {
 			}
 			a.Tick()
 		}
-		out = append(out, Fig3Result{Benchmark: prof.Name, Summary: a.Summarize()})
-	}
-	return out, nil
+		return Fig3Result{Benchmark: prof.Name, Summary: a.Summarize()}, nil
+	})
 }
 
 // Fig6Result reproduces Figure 6 for one benchmark/operating point.
@@ -69,6 +77,20 @@ type Fig6Result struct {
 
 // Fig6 runs the capacity study: the paper uses basicmath at 400 mV.
 func Fig6(benchmark string, op dvfs.OperatingPoint, maps int, seed int64) (*Fig6Result, error) {
+	return NewEngine(0).Fig6(context.Background(), benchmark, op, maps, seed)
+}
+
+// fig6Sample is one fault map's contribution to Figure 6.
+type fig6Sample struct {
+	kb     float64
+	chunks []int
+	placed bool
+}
+
+// Fig6 draws and measures each Monte Carlo fault map as one engine job
+// (the transformed program is shared read-only by the placement
+// checks), then folds the samples in map order.
+func (e *Engine) Fig6(ctx context.Context, benchmark string, op dvfs.OperatingPoint, maps int, seed int64) (*Fig6Result, error) {
 	prof, err := workload.ByName(benchmark)
 	if err != nil {
 		return nil, err
@@ -90,17 +112,30 @@ func Fig6(benchmark string, op dvfs.OperatingPoint, maps int, seed int64) (*Fig6
 		res.BBSizes.Add(float64(prog.Blocks[i].Footprint()))
 	}
 
-	var caps []float64
-	placed := 0
-	for m := 0; m < maps; m++ {
+	samples, err := engine.Map(ctx, e.pool, maps, func(ctx context.Context, m int) (fig6Sample, error) {
 		fm := faultmap.Generate(l1Words, op.PfailBit, rand.New(rand.NewSource(seed+int64(m)*7919)))
-		kb := float64(fm.FaultFreeWords()) * 4 / 1024
-		caps = append(caps, kb)
-		res.CapacityHist.Add(kb)
+		s := fig6Sample{kb: float64(fm.FaultFreeWords()) * 4 / 1024}
 		for _, c := range fm.Chunks() {
-			res.ChunkSizes.Add(float64(c.Len))
+			s.chunks = append(s.chunks, c.Len)
 		}
 		if _, err := bbr.Link(prog, fm, 0); err == nil {
+			s.placed = true
+		}
+		return s, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	var caps []float64
+	placed := 0
+	for _, s := range samples {
+		caps = append(caps, s.kb)
+		res.CapacityHist.Add(s.kb)
+		for _, l := range s.chunks {
+			res.ChunkSizes.Add(float64(l))
+		}
+		if s.placed {
 			placed++
 		}
 	}
@@ -129,6 +164,19 @@ type YieldRow struct {
 // chunk). The word-disable/buffer schemes degrade gracefully and always
 // yield.
 func YieldAnalysis(maps int, seed int64) ([]YieldRow, error) {
+	return NewEngine(0).YieldAnalysis(context.Background(), maps, seed)
+}
+
+// yieldVerdict is one (operating point, map) coverage draw.
+type yieldVerdict struct {
+	wilk, bitfix, bbr bool
+}
+
+// YieldAnalysis flattens the (operating point × map) grid into engine
+// jobs — each draws its own seeded map and tests the three coverage
+// predicates against the shared read-only reference program — and folds
+// the verdicts per operating point.
+func (e *Engine) YieldAnalysis(ctx context.Context, maps int, seed int64) ([]YieldRow, error) {
 	if maps < 1 {
 		return nil, fmt.Errorf("sim: need at least one map")
 	}
@@ -145,19 +193,35 @@ func YieldAnalysis(maps int, seed int64) ([]YieldRow, error) {
 		return nil, err
 	}
 
+	ops := dvfs.LowVoltagePoints()
+	verdicts, err := engine.Map(ctx, e.pool, len(ops)*maps, func(ctx context.Context, k int) (yieldVerdict, error) {
+		op, m := ops[k/maps], k%maps
+		rng := rand.New(rand.NewSource(seed + int64(op.VoltageMV)*100003 + int64(m)))
+		fm := faultmap.Generate(l1Words, op.PfailBit, rng)
+		v := yieldVerdict{
+			wilk:   schemes.Coverable(fm),
+			bitfix: schemes.CoverableBitFix(fm),
+		}
+		if _, err := bbr.Link(prog, fm, 0); err == nil {
+			v.bbr = true
+		}
+		return v, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	var rows []YieldRow
-	for _, op := range dvfs.LowVoltagePoints() {
+	for oi, op := range ops {
 		wilkOK, bitfixOK, bbrOK := 0, 0, 0
-		for m := 0; m < maps; m++ {
-			rng := rand.New(rand.NewSource(seed + int64(op.VoltageMV)*100003 + int64(m)))
-			fm := faultmap.Generate(l1Words, op.PfailBit, rng)
-			if schemes.Coverable(fm) {
+		for _, v := range verdicts[oi*maps : (oi+1)*maps] {
+			if v.wilk {
 				wilkOK++
 			}
-			if schemes.CoverableBitFix(fm) {
+			if v.bitfix {
 				bitfixOK++
 			}
-			if _, err := bbr.Link(prog, fm, 0); err == nil {
+			if v.bbr {
 				bbrOK++
 			}
 		}

@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/cpu"
+	"repro/internal/engine"
+	"repro/internal/workload"
+)
+
+// Engine schedules the experiment drivers onto a bounded worker pool
+// with a seed-keyed run memo. One Engine per process invocation is the
+// intended shape: every figure, sweep and ad-hoc run scheduled through
+// the same Engine shares the memo, so a RunSpec executed once — a
+// defect-free baseline shared by Figures 10–12, or the same cell
+// requested by two reports — is never simulated twice.
+//
+// Determinism contract: every job the Engine schedules derives its
+// randomness from seeds carried in the job's spec, never from
+// scheduling, so results are byte-identical at any worker count
+// (including 1) for the same master seed.
+type Engine struct {
+	pool *engine.Pool
+	runs *engine.Memo[RunSpec, cpu.Result]
+	// runFn is the single-run entry point. Tests substitute it to
+	// inject failures and observe cancellation; production code always
+	// goes through Run.
+	runFn func(context.Context, RunSpec) (cpu.Result, error)
+}
+
+// NewEngine returns an engine with the given worker bound; workers <= 0
+// selects GOMAXPROCS (the `-workers` flag default in every command).
+func NewEngine(workers int) *Engine {
+	return &Engine{
+		pool: engine.New(workers),
+		runs: engine.NewMemo[RunSpec, cpu.Result](),
+		runFn: func(_ context.Context, spec RunSpec) (cpu.Result, error) {
+			return Run(spec)
+		},
+	}
+}
+
+// Workers returns the engine's worker bound.
+func (e *Engine) Workers() int { return e.pool.Workers() }
+
+// Pool exposes the engine's worker pool so commands can schedule their
+// own job grids (engine.Map) alongside the memoized drivers. The
+// engine's no-nesting rule applies: a job running on this pool must not
+// start another Map on it.
+func (e *Engine) Pool() *engine.Pool { return e.pool }
+
+// MemoStats reports the run memo's hit and miss counts — hits are
+// simulations that were requested again and served from cache.
+func (e *Engine) MemoStats() (hits, misses int64) {
+	return e.runs.Hits(), e.runs.Misses()
+}
+
+// Run executes one simulation through the engine's memo: a spec already
+// executed on this engine returns its cached result without simulating.
+func (e *Engine) Run(ctx context.Context, spec RunSpec) (cpu.Result, error) {
+	return e.runs.Do(ctx, spec, func() (cpu.Result, error) {
+		return e.runFn(ctx, spec)
+	})
+}
+
+// validateEvalInputs rejects malformed evaluation requests up front —
+// unknown scheme names, unknown or duplicate benchmarks — so a bad
+// argument surfaces as one clear top-level error instead of failing
+// deep inside Run on the first fault map of some cell.
+func validateEvalInputs(ss []Scheme, benchmarks []string) error {
+	known := make(map[Scheme]bool, len(AllSchemes()))
+	for _, s := range AllSchemes() {
+		known[s] = true
+	}
+	for _, s := range ss {
+		if !known[s] {
+			return fmt.Errorf("sim: unknown scheme %q (known: %v)", s, AllSchemes())
+		}
+	}
+	seen := make(map[string]bool, len(benchmarks))
+	for _, b := range benchmarks {
+		if _, err := workload.ByName(b); err != nil {
+			return err
+		}
+		if seen[b] {
+			return fmt.Errorf("sim: duplicate benchmark %q", b)
+		}
+		seen[b] = true
+	}
+	return nil
+}

@@ -1,13 +1,14 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
-	"sync"
 
 	"repro/internal/cpu"
 	"repro/internal/dvfs"
 	"repro/internal/energy"
+	"repro/internal/engine"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -39,9 +40,19 @@ type EvalCell struct {
 	YieldFails int
 }
 
-// Evaluate runs the full evaluation grid. Benchmarks defaults to the
-// paper's ten when nil; ops defaults to the low-voltage region.
+// Evaluate runs the full evaluation grid on a fresh engine with the
+// default worker count. Benchmarks defaults to the paper's ten when
+// nil; ops defaults to the low-voltage region.
 func Evaluate(cfg Config, ss []Scheme, benchmarks []string, ops []dvfs.OperatingPoint) ([]EvalCell, error) {
+	return NewEngine(0).Evaluate(context.Background(), cfg, ss, benchmarks, ops)
+}
+
+// Evaluate runs the full (scheme × operating point × benchmark) grid as
+// engine jobs: every cell's per-benchmark Monte Carlo loop is one job,
+// so whole cells and the loops inside them run in parallel up to the
+// worker bound. Results merge by index; output is byte-identical at any
+// worker count for the same cfg.Seed.
+func (e *Engine) Evaluate(ctx context.Context, cfg Config, ss []Scheme, benchmarks []string, ops []dvfs.OperatingPoint) ([]EvalCell, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -54,21 +65,37 @@ func Evaluate(cfg Config, ss []Scheme, benchmarks []string, ops []dvfs.Operating
 	if len(ss) == 0 {
 		ss = EvalSchemes()
 	}
+	if len(ops) == 0 {
+		return nil, errors.New("sim: no operating points")
+	}
+	if len(benchmarks) == 0 {
+		return nil, errors.New("sim: no benchmarks")
+	}
+	if err := validateEvalInputs(ss, benchmarks); err != nil {
+		return nil, err
+	}
 
-	base, err := newBaselines(cfg, benchmarks, ops)
+	base, err := e.newBaselines(ctx, cfg, benchmarks, ops)
 	if err != nil {
 		return nil, err
 	}
 
-	cells := make([]EvalCell, 0, len(ss)*len(ops))
-	for _, op := range ops {
-		for _, s := range ss {
-			cell, err := evalCell(cfg, s, op, benchmarks, base)
-			if err != nil {
-				return nil, err
-			}
-			cells = append(cells, cell)
-		}
+	// One job per (cell, benchmark): cell order is op-major then scheme
+	// (the presentation order), benchmarks innermost.
+	nb := len(benchmarks)
+	nCells := len(ops) * len(ss)
+	samples, err := engine.Map(ctx, e.pool, nCells*nb, func(ctx context.Context, k int) (benchSamples, error) {
+		ci, bi := k/nb, k%nb
+		op, s := ops[ci/len(ss)], ss[ci%len(ss)]
+		return e.evalBench(ctx, cfg, s, op, bi, benchmarks[bi], base)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	cells := make([]EvalCell, 0, nCells)
+	for ci := 0; ci < nCells; ci++ {
+		cells = append(cells, foldCell(ss[ci%len(ss)], ops[ci/len(ss)], samples[ci*nb:(ci+1)*nb]))
 	}
 	return cells, nil
 }
@@ -82,57 +109,62 @@ type baselines struct {
 	workSeed   map[string]int64
 }
 
-func newBaselines(cfg Config, benchmarks []string, ops []dvfs.OperatingPoint) (*baselines, error) {
+// newBaselines schedules every reference run — per benchmark, the
+// defect-free cache at nominal plus each operating point, and the
+// conventional cache at nominal — as one flat batch of engine jobs and
+// assembles the lookup tables in index order. The runs go through the
+// engine memo, so a later figure (or a second Evaluate on the same
+// engine) reuses them instead of recomputing.
+func (e *Engine) newBaselines(ctx context.Context, cfg Config, benchmarks []string, ops []dvfs.OperatingPoint) (*baselines, error) {
 	b := &baselines{
 		defectFree: make(map[string]map[int]cpu.Result),
 		epi:        make(map[string]cpu.Result),
 		workSeed:   make(map[string]int64),
 	}
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	errCh := make(chan error, len(benchmarks))
 	for i, bench := range benchmarks {
 		b.workSeed[bench] = cfg.Seed*1000 + int64(i)
 	}
-	for _, bench := range benchmarks {
-		wg.Add(1)
-		go func(bench string) {
-			defer wg.Done()
-			perOp := make(map[int]cpu.Result, len(ops)+1)
-			for _, op := range append([]dvfs.OperatingPoint{dvfs.Nominal()}, ops...) {
-				r, err := Run(RunSpec{
-					Scheme: DefectFree, Benchmark: bench, Op: op,
-					MapSeed: 0, WorkSeed: b.workSeed[bench],
-					Instructions: cfg.Instructions, CPU: cfg.CPU,
-				})
-				if err != nil {
-					errCh <- fmt.Errorf("baseline %s@%v: %w", bench, op, err)
-					return
-				}
-				perOp[op.VoltageMV] = r
-			}
-			conv, err := Run(RunSpec{
+
+	allOps := append([]dvfs.OperatingPoint{dvfs.Nominal()}, ops...)
+	per := len(allOps) + 1 // +1: the conventional EPI baseline
+	results, err := engine.Map(ctx, e.pool, len(benchmarks)*per, func(ctx context.Context, k int) (cpu.Result, error) {
+		bench := benchmarks[k/per]
+		j := k % per
+		if j == len(allOps) {
+			r, err := e.Run(ctx, RunSpec{
 				Scheme: Conventional, Benchmark: bench, Op: dvfs.Nominal(),
 				MapSeed: 0, WorkSeed: b.workSeed[bench],
 				Instructions: cfg.Instructions, CPU: cfg.CPU,
 			})
 			if err != nil {
-				errCh <- fmt.Errorf("EPI baseline %s: %w", bench, err)
-				return
+				return cpu.Result{}, fmt.Errorf("EPI baseline %s: %w", bench, err)
 			}
-			mu.Lock()
-			b.defectFree[bench] = perOp
-			b.epi[bench] = conv
-			mu.Unlock()
-		}(bench)
-	}
-	wg.Wait()
-	select {
-	case err := <-errCh:
+			return r, nil
+		}
+		op := allOps[j]
+		r, err := e.Run(ctx, RunSpec{
+			Scheme: DefectFree, Benchmark: bench, Op: op,
+			MapSeed: 0, WorkSeed: b.workSeed[bench],
+			Instructions: cfg.Instructions, CPU: cfg.CPU,
+		})
+		if err != nil {
+			return cpu.Result{}, fmt.Errorf("baseline %s@%v: %w", bench, op, err)
+		}
+		return r, nil
+	})
+	if err != nil {
 		return nil, err
-	default:
-		return b, nil
 	}
+
+	for bi, bench := range benchmarks {
+		perOp := make(map[int]cpu.Result, len(allOps))
+		for j, op := range allOps {
+			perOp[op.VoltageMV] = results[bi*per+j]
+		}
+		b.defectFree[bench] = perOp
+		b.epi[bench] = results[bi*per+len(allOps)]
+	}
+	return b, nil
 }
 
 // benchSamples holds one benchmark's Monte Carlo vectors for a cell.
@@ -142,63 +174,57 @@ type benchSamples struct {
 	yieldFails            int
 }
 
-func evalCell(cfg Config, s Scheme, op dvfs.OperatingPoint, benchmarks []string, base *baselines) (EvalCell, error) {
+// evalBench runs one benchmark's Monte Carlo loop for one cell — the
+// paper's up-to-MaxMaps fault maps with the 95%/5% early-stopping rule.
+// The loop itself is sequential (the stopping rule is a running
+// decision over the samples drawn so far); parallelism comes from many
+// of these jobs running at once. Cancellation is checked per map, so a
+// failure elsewhere in the grid stops this job at the next draw.
+func (e *Engine) evalBench(ctx context.Context, cfg Config, s Scheme, op dvfs.OperatingPoint, bi int, bench string, base *baselines) (benchSamples, error) {
 	model := energy.DefaultModel()
 	factor := L1StaticFactor(s)
+	df := base.defectFree[bench][op.VoltageMV]
+	epiBase := base.epi[bench]
 
-	results := make([]benchSamples, len(benchmarks))
-	var wg sync.WaitGroup
-	errCh := make(chan error, len(benchmarks))
-	for bi, bench := range benchmarks {
-		wg.Add(1)
-		go func(bi int, bench string) {
-			defer wg.Done()
-			var bs benchSamples
-			df := base.defectFree[bench][op.VoltageMV]
-			epiBase := base.epi[bench]
-			for m := 0; m < cfg.MaxMaps; m++ {
-				mapSeed := cfg.Seed*100_000 + int64(bi)*1000 + int64(m)
-				r, err := Run(RunSpec{
-					Scheme: s, Benchmark: bench, Op: op,
-					MapSeed: mapSeed, WorkSeed: base.workSeed[bench],
-					Instructions: cfg.Instructions, CPU: cfg.CPU,
-				})
-				if err != nil {
-					if errors.Is(err, ErrYield) {
-						bs.yieldFails++
-						continue
-					}
-					errCh <- fmt.Errorf("%s/%s@%v map %d: %w", s, bench, op, m, err)
-					return
-				}
-				norm, err := model.Normalized(r, op, factor, epiBase)
-				if err != nil {
-					errCh <- err
-					return
-				}
-				bs.rt = append(bs.rt, r.Cycles()/df.Cycles())
-				bs.l2k = append(bs.l2k, r.L2PerKiloInstr())
-				bs.epi = append(bs.epi, norm)
-				bs.base += r.BaseCycles
-				bs.l1c += r.L1Cycles
-				bs.mem += r.MemCycles
-				bs.total += r.Cycles()
-				if len(bs.rt) >= cfg.MinMaps && cfg.Margin > 0 && stats.Converged(bs.rt, cfg.Margin) {
-					break
-				}
-			}
-			results[bi] = bs
-			errCh <- nil
-		}(bi, bench)
-	}
-	wg.Wait()
-	close(errCh)
-	for err := range errCh {
+	var bs benchSamples
+	for m := 0; m < cfg.MaxMaps; m++ {
+		if err := ctx.Err(); err != nil {
+			return benchSamples{}, err
+		}
+		mapSeed := cfg.Seed*100_000 + int64(bi)*1000 + int64(m)
+		r, err := e.Run(ctx, RunSpec{
+			Scheme: s, Benchmark: bench, Op: op,
+			MapSeed: mapSeed, WorkSeed: base.workSeed[bench],
+			Instructions: cfg.Instructions, CPU: cfg.CPU,
+		})
 		if err != nil {
-			return EvalCell{}, err
+			if errors.Is(err, ErrYield) {
+				bs.yieldFails++
+				continue
+			}
+			return benchSamples{}, fmt.Errorf("%s/%s@%v map %d: %w", s, bench, op, m, err)
+		}
+		norm, err := model.Normalized(r, op, factor, epiBase)
+		if err != nil {
+			return benchSamples{}, err
+		}
+		bs.rt = append(bs.rt, r.Cycles()/df.Cycles())
+		bs.l2k = append(bs.l2k, r.L2PerKiloInstr())
+		bs.epi = append(bs.epi, norm)
+		bs.base += r.BaseCycles
+		bs.l1c += r.L1Cycles
+		bs.mem += r.MemCycles
+		bs.total += r.Cycles()
+		if len(bs.rt) >= cfg.MinMaps && cfg.Margin > 0 && stats.Converged(bs.rt, cfg.Margin) {
+			break
 		}
 	}
+	return bs, nil
+}
 
+// foldCell aggregates the per-benchmark samples of one cell, in
+// benchmark order, into the cell's figures.
+func foldCell(s Scheme, op dvfs.OperatingPoint, results []benchSamples) EvalCell {
 	cell := EvalCell{Scheme: s, VoltageMV: op.VoltageMV}
 	var rtMeans, epiMeans, l2kMeans []float64
 	var baseSum, l1Sum, memSum, totalSum float64
@@ -229,7 +255,7 @@ func evalCell(cfg Config, s Scheme, op dvfs.OperatingPoint, benchmarks []string,
 		cell.L1Share = l1Sum / totalSum
 		cell.MemShare = memSum / totalSum
 	}
-	return cell, nil
+	return cell
 }
 
 // CellFor finds a cell by scheme and voltage.

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -10,6 +11,7 @@ import (
 	"repro/internal/cpu"
 	"repro/internal/dvfs"
 	"repro/internal/energy"
+	"repro/internal/engine"
 	"repro/internal/faultmap"
 	"repro/internal/program"
 	"repro/internal/workload"
@@ -42,8 +44,19 @@ type DiePoint struct {
 
 // SweepDie runs scheme × benchmark at every low-voltage operating point
 // of one die (identified by dieSeed), plus the 760 mV conventional
-// baseline used for EPI normalization.
+// baseline used for EPI normalization, on a fresh engine with the
+// default worker count.
 func SweepDie(scheme Scheme, benchmark string, dieSeed, workSeed int64, instructions uint64, cfg cpu.Config) (*DieSweep, error) {
+	return NewEngine(0).SweepDie(context.Background(), scheme, benchmark, dieSeed, workSeed, instructions, cfg)
+}
+
+// SweepDie runs one die's DVFS ladder with each operating point as an
+// engine job. The die's nested fault-map series is drawn once up front
+// (its thresholds are fixed at construction, so per-point
+// materialization is order-independent and read-only); the conventional
+// baseline goes through the run memo, so sweeping many dies of the same
+// benchmark on one engine simulates it only once.
+func (e *Engine) SweepDie(ctx context.Context, scheme Scheme, benchmark string, dieSeed, workSeed int64, instructions uint64, cfg cpu.Config) (*DieSweep, error) {
 	prof, err := workload.ByName(benchmark)
 	if err != nil {
 		return nil, err
@@ -62,7 +75,7 @@ func SweepDie(scheme Scheme, benchmark string, dieSeed, workSeed int64, instruct
 	seriesI := faultmap.NewSeries(l1Words, rand.New(rand.NewSource(dieSeed*2+11)))
 	seriesD := faultmap.NewSeries(l1Words, rand.New(rand.NewSource(dieSeed*2+12)))
 
-	baseline, err := Run(RunSpec{
+	baseline, err := e.Run(ctx, RunSpec{
 		Scheme: Conventional, Benchmark: benchmark, Op: dvfs.Nominal(),
 		WorkSeed: workSeed, Instructions: instructions, CPU: cfg,
 	})
@@ -72,25 +85,26 @@ func SweepDie(scheme Scheme, benchmark string, dieSeed, workSeed int64, instruct
 	model := energy.DefaultModel()
 	factor := L1StaticFactor(scheme)
 
-	sweep := &DieSweep{Scheme: scheme, Benchmark: benchmark}
-	for _, op := range dvfs.LowVoltagePoints() {
-		fmI := seriesI.MapAt(op.PfailBit)
-		fmD := seriesD.MapAt(op.PfailBit)
-		r, err := runWithMaps(scheme, prof, op, fmI, fmD, workSeed, instructions, cfg)
+	ops := dvfs.LowVoltagePoints()
+	points, err := engine.Map(ctx, e.pool, len(ops), func(ctx context.Context, i int) (DiePoint, error) {
+		op := ops[i]
+		r, err := runWithMaps(scheme, prof, op, seriesI.MapAt(op.PfailBit), seriesD.MapAt(op.PfailBit), workSeed, instructions, cfg)
 		if errors.Is(err, ErrYield) {
-			sweep.Points = append(sweep.Points, DiePoint{Op: op})
-			continue
+			return DiePoint{Op: op}, nil
 		}
 		if err != nil {
-			return nil, err
+			return DiePoint{}, err
 		}
 		norm, err := model.Normalized(r, op, factor, baseline)
 		if err != nil {
-			return nil, err
+			return DiePoint{}, err
 		}
-		sweep.Points = append(sweep.Points, DiePoint{Op: op, Result: r, NormEPI: norm, Yield: true})
+		return DiePoint{Op: op, Result: r, NormEPI: norm, Yield: true}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return sweep, nil
+	return &DieSweep{Scheme: scheme, Benchmark: benchmark, Points: points}, nil
 }
 
 // runWithMaps is Run with caller-supplied fault maps (used by die sweeps,

@@ -19,6 +19,8 @@
 package lvcache
 
 import (
+	"context"
+
 	"repro/internal/cacti"
 	"repro/internal/cpu"
 	"repro/internal/dvfs"
@@ -50,7 +52,16 @@ type (
 	DieSweep = sim.DieSweep
 	// DiePoint is one operating point of a die sweep.
 	DiePoint = sim.DiePoint
+	// Engine is the experiment scheduler: a bounded worker pool with a
+	// seed-keyed run memo. Share one Engine across calls so repeated
+	// RunSpecs (baselines, overlapping grids) simulate only once;
+	// results are byte-identical at any worker count for a fixed seed.
+	Engine = sim.Engine
 )
+
+// NewEngine returns an experiment engine bounded to the given worker
+// count; workers <= 0 selects GOMAXPROCS.
+func NewEngine(workers int) *Engine { return sim.NewEngine(workers) }
 
 // The evaluated schemes.
 const (
@@ -89,15 +100,31 @@ func ReportConfig() Config { return sim.ReportConfig() }
 func Run(spec RunSpec) (Result, error) { return sim.Run(spec) }
 
 // Evaluate runs the full evaluation grid; nil benchmarks/ops select the
-// paper's ten benchmarks and five low-voltage operating points.
+// paper's ten benchmarks and five low-voltage operating points. It is a
+// thin wrapper over EvaluateContext with a background context.
 func Evaluate(cfg Config, schemes []Scheme, benchmarks []string, ops []OperatingPoint) ([]EvalCell, error) {
 	return sim.Evaluate(cfg, schemes, benchmarks, ops)
 }
 
+// EvaluateContext is Evaluate with cancellation: the grid runs as
+// parallel jobs on a fresh default-width engine and aborts promptly
+// when ctx is cancelled. To share memoized runs across several grids,
+// construct one Engine with NewEngine and call its Evaluate instead.
+func EvaluateContext(ctx context.Context, cfg Config, schemes []Scheme, benchmarks []string, ops []OperatingPoint) ([]EvalCell, error) {
+	return sim.NewEngine(0).Evaluate(ctx, cfg, schemes, benchmarks, ops)
+}
+
 // SweepDie evaluates one scheme on a single die across the DVFS ladder
-// (fault maps nested across voltages, as real silicon degrades).
+// (fault maps nested across voltages, as real silicon degrades). It is
+// a thin wrapper over SweepDieContext with a background context.
 func SweepDie(scheme Scheme, benchmark string, dieSeed, workSeed int64, instructions uint64, cpuCfg CPUConfig) (*DieSweep, error) {
 	return sim.SweepDie(scheme, benchmark, dieSeed, workSeed, instructions, cpuCfg)
+}
+
+// SweepDieContext is SweepDie with cancellation, running the ladder's
+// operating points as parallel jobs on a fresh default-width engine.
+func SweepDieContext(ctx context.Context, scheme Scheme, benchmark string, dieSeed, workSeed int64, instructions uint64, cpuCfg CPUConfig) (*DieSweep, error) {
+	return sim.NewEngine(0).SweepDie(ctx, scheme, benchmark, dieSeed, workSeed, instructions, cpuCfg)
 }
 
 // OperatingPoints returns the paper's DVFS table (Table II).

@@ -1,0 +1,40 @@
+#!/bin/sh
+# Tier-1 benchmark pass. Runs the figure/table Benchmark* suite (one
+# iteration per benchmark by default; override with BENCHTIME=3x etc.)
+# and records ns/op per benchmark in BENCH_sim.json at the repo root.
+#
+# BenchmarkFig10GridWorkers/workers=N vs workers=1 is the experiment
+# engine's wall-clock scaling; their ratio lands in the JSON as
+# fig10_grid_speedup (~1.0 on a single-core host, ~worker-count on a
+# wide one).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=BENCH_sim.json
+go test -run '^$' -bench . -benchtime "${BENCHTIME:-1x}" . | tee /dev/stderr | awk '
+	BEGIN { procs = 1 }
+	/^Benchmark/ {
+		full = $1
+		# go test appends "-GOMAXPROCS" only when it is > 1.
+		if (match(full, /-[0-9]+$/)) procs = substr(full, RSTART + 1)
+		name = full; sub(/-[0-9]+$/, "", name)
+		if (!(name in ns)) order[n++] = name
+		ns[name] = $3
+	}
+	END {
+		w1 = "BenchmarkFig10GridWorkers/workers=1"
+		wN = "BenchmarkFig10GridWorkers/workers=" procs
+		# On a single-core host both sub-benchmarks run at one worker and
+		# go test disambiguates the second as "...#01".
+		if (!(wN in ns) && ((wN "#01") in ns)) wN = wN "#01"
+		printf "{\n"
+		printf "  \"gomaxprocs\": %s,\n", procs
+		if ((w1 in ns) && (wN in ns) && ns[wN] > 0)
+			printf "  \"fig10_grid_speedup\": %.2f,\n", ns[w1] / ns[wN]
+		for (i = 0; i < n; i++)
+			printf "  \"%s\": {\"ns_per_op\": %s}%s\n", order[i], ns[order[i]], (i < n - 1 ? "," : "")
+		printf "}\n"
+	}
+' >"$out"
+echo "bench: wrote $out"

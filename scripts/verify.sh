@@ -7,7 +7,8 @@
 #            errdrop, lockguard, nopanic); nonzero exit on any finding
 #   test   — full unit/integration suite
 #   race   — race detector on the packages with shared mutable state
-#            (the simulator fan-out and the cache model it drives)
+#            (the run scheduler, the simulator fan-out and the cache
+#            model it drives)
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -24,7 +25,7 @@ go run ./cmd/lvlint ./...
 echo '== go test ./...'
 go test ./...
 
-echo '== go test -race ./internal/sim/... ./internal/cache/...'
-go test -race ./internal/sim/... ./internal/cache/...
+echo '== go test -race ./internal/engine/... ./internal/sim/... ./internal/cache/...'
+go test -race ./internal/engine/... ./internal/sim/... ./internal/cache/...
 
 echo 'verify: all gates passed'
