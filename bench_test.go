@@ -22,6 +22,7 @@ import (
 	"repro/internal/dvfs"
 	"repro/internal/faultmap"
 	"repro/internal/ffw"
+	"repro/internal/inject"
 	"repro/internal/program"
 	"repro/internal/schemes"
 	"repro/internal/sim"
@@ -438,6 +439,62 @@ func BenchmarkAblationLinkerFit(b *testing.B) {
 	b.ReportMetric(ffMiss, "firstfit-miss-per-1k")
 	b.ReportMetric(bfLaps, "bestfit-laps")
 	b.ReportMetric(bfMiss, "bestfit-miss-per-1k")
+}
+
+// BenchmarkInjectRecovery measures the detection/recovery tax on the
+// FFW+BBR run path: the same die and workload with the runtime fault
+// layer disabled versus injecting at intensity 5 at 400 mV. The ns/op
+// difference between the two sub-benchmarks is the recovery overhead
+// scripts/bench.sh records in BENCH_inject.json.
+func BenchmarkInjectRecovery(b *testing.B) {
+	op := opAt(b, 400)
+	cases := []struct {
+		name   string
+		params inject.Params
+	}{
+		{"inject=off", inject.Params{}},
+		{"inject=on", inject.Params{Seed: 9, Intensity: 5}},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			var recovery float64
+			for i := 0; i < b.N; i++ {
+				r, err := sim.Run(sim.RunSpec{
+					Scheme: sim.FFWBBR, Benchmark: "qsort", Op: op,
+					MapSeed: 1, WorkSeed: 1, Instructions: 60_000,
+					CPU: cpu.DefaultConfig(), Inject: c.params,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				recovery = r.RecoveryCycles
+			}
+			b.ReportMetric(recovery, "recovery-cycles")
+		})
+	}
+}
+
+// BenchmarkChaosCampaign measures fault-injection campaign throughput:
+// a ten-epoch back-off campaign per iteration, with the controller
+// transition counts as sanity metrics.
+func BenchmarkChaosCampaign(b *testing.B) {
+	spec := sim.ChaosSpec{
+		Benchmark: "qsort", DieSeed: 3, WorkSeed: 1,
+		Inject:  inject.Params{Seed: 9, Intensity: 5},
+		StartMV: 400, Epochs: 10, EpochInstructions: 30_000,
+		CPU:     cpu.DefaultConfig(),
+		Backoff: dvfs.BackoffConfig{UpThreshold: 3, DownThreshold: 2, StableEpochs: 2},
+	}
+	var ups, downs float64
+	for i := 0; i < b.N; i++ {
+		res, err := sim.NewEngine(1).RunChaos(context.Background(), spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ups, downs = float64(res.StepUps), float64(res.StepDowns)
+	}
+	b.ReportMetric(ups, "step-ups")
+	b.ReportMetric(downs, "step-downs")
 }
 
 // BenchmarkAblationReplacement compares the L1 victim policies on the

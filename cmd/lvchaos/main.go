@@ -1,0 +1,134 @@
+// Command lvchaos runs fault-injection campaigns: FFW+BBR dies under
+// deterministic runtime fault injection, steered epoch-by-epoch by the
+// graceful voltage back-off controller. Each campaign reports the
+// controller's transitions, the detection/recovery ledger and the
+// effective-voltage residency — the robustness counterpart to lvdie's
+// static per-die optimum.
+//
+// Usage:
+//
+//	lvchaos -bench qsort -die 3 -intensity 5
+//	lvchaos -bench qsort,dijkstra -dies 4 -epochs 20   # campaign grid
+//	lvchaos -intensity 0 -start 480                    # fault-free creep-down
+//
+// Campaigns are deterministic: a fixed flag set produces byte-identical
+// output at any -workers count. SIGINT flushes the campaigns that
+// already finished before exiting nonzero.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"text/tabwriter"
+
+	"repro/internal/cpu"
+	"repro/internal/dvfs"
+	"repro/internal/engine"
+	"repro/internal/inject"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lvchaos: ")
+	var (
+		bench     = flag.String("bench", "qsort", "comma-separated benchmarks; from "+fmt.Sprint(workload.Names()))
+		die       = flag.Int64("die", 1, "first die seed")
+		dies      = flag.Int("dies", 1, "number of consecutive dies per benchmark")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		iseed     = flag.Int64("iseed", 1, "fault-injection seed")
+		intensity = flag.Float64("intensity", 1, "injection intensity (0 disables injection)")
+		start     = flag.Int("start", 400, "starting voltage in mV (Table II point)")
+		epochs    = flag.Int("epochs", 20, "controller epochs per campaign")
+		epochN    = flag.Uint64("epoch-n", 100_000, "useful instructions per epoch")
+		up        = flag.Float64("up", 1, "back-off threshold: detected faults per kilo-instruction")
+		down      = flag.Float64("down", 0, "stability threshold (0 = up/2)")
+		stable    = flag.Int("stable", 3, "consecutive stable epochs before stepping back down")
+		workers   = flag.Int("workers", 0, "parallel campaign workers (0 = GOMAXPROCS)")
+		timeout   = flag.Duration("timeout", 0, "per-campaign timeout (0 = none)")
+	)
+	flag.Parse()
+
+	var specs []sim.ChaosSpec
+	for _, b := range strings.Split(*bench, ",") {
+		b = strings.TrimSpace(b)
+		for d := int64(0); d < int64(*dies); d++ {
+			specs = append(specs, sim.ChaosSpec{
+				Benchmark: b, DieSeed: *die + d, WorkSeed: *seed,
+				Inject:  inject.Params{Seed: *iseed, Intensity: *intensity},
+				StartMV: *start, Epochs: *epochs, EpochInstructions: *epochN,
+				CPU:     cpu.DefaultConfig(),
+				Backoff: dvfs.BackoffConfig{UpThreshold: *up, DownThreshold: *down, StableEpochs: *stable},
+			})
+		}
+	}
+	for i, s := range specs {
+		if err := s.Validate(); err != nil {
+			log.Fatalf("campaign %d: %v", i, err)
+		}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	eng := sim.NewEngine(*workers)
+
+	// MapPartial rather than ChaosCampaign: on SIGINT the campaigns that
+	// already finished are flushed instead of discarded.
+	results, done, err := engine.MapPartial(ctx, eng.Pool(), len(specs), *timeout,
+		func(ctx context.Context, i int) (*sim.ChaosResult, error) {
+			return eng.RunChaos(ctx, specs[i])
+		})
+	completed := 0
+	for i, res := range results {
+		if !done[i] {
+			continue
+		}
+		if completed > 0 {
+			fmt.Println()
+		}
+		report(res)
+		completed++
+	}
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			log.Printf("interrupted after %d/%d campaigns", completed, len(specs))
+			os.Exit(1)
+		}
+		log.Fatal(err)
+	}
+}
+
+// report prints one campaign: the per-epoch controller trace, the
+// residency histogram and the detection/recovery totals.
+func report(res *sim.ChaosResult) {
+	s := res.Spec
+	fmt.Printf("== %s  die %d  intensity %g  start %d mV ==\n", s.Benchmark, s.DieSeed, s.Inject.Intensity, s.StartMV)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "epoch\tmV\tCPI\tflt/kI\tdet\tretry\trefetch\tuncorr\taction\tEPI(norm)")
+	for _, ep := range res.Epochs {
+		fmt.Fprintf(w, "%d\t%d\t%.3f\t%.2f\t%d\t%d\t%d\t%d\t%s\t%.3f\n",
+			ep.Index, ep.Op.VoltageMV, ep.Result.CPI(), ep.Rate,
+			ep.Faults.Detected, ep.Faults.CorrectedRetry, ep.Faults.CorrectedRefetch,
+			ep.Faults.Uncorrected, ep.Action, ep.NormEPI)
+	}
+	w.Flush()
+
+	parts := make([]string, 0, len(res.Residency))
+	for _, r := range res.Residency {
+		parts = append(parts, fmt.Sprintf("%d mV %.0f%% (%d epochs)", r.VoltageMV, 100*r.Frac, r.Epochs))
+	}
+	fmt.Printf("residency: %s\n", strings.Join(parts, "  "))
+	t := res.Totals
+	fmt.Printf("faults: injected %d  detected %d  corrected %d (retry %d + refetch %d)  uncorrected %d  lines disabled %d\n",
+		t.Injected(), t.Detected, t.Corrected(), t.CorrectedRetry, t.CorrectedRefetch, t.Uncorrected, t.DisabledLines)
+	fmt.Printf("controller: %d step-ups / %d step-downs, final %d mV; mean EPI(norm) %.3f\n",
+		res.StepUps, res.StepDowns, res.FinalMV, res.MeanNormEPI)
+}

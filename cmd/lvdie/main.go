@@ -11,6 +11,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -34,16 +35,22 @@ func main() {
 		dies    = flag.Int("dies", 1, "sweep this many dies and summarize the optimal points")
 		n       = flag.Uint64("n", 200_000, "useful instructions per run")
 		workers = flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
+		timeout = flag.Duration("timeout", 0, "per-run timeout (0 = none)")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	eng := sim.NewEngine(*workers)
+	eng.SetJobTimeout(*timeout)
 
 	if *dies <= 1 {
 		sweep, err := eng.SweepDie(ctx, sim.Scheme(*scheme), *bench, *die, *die, *n, cpu.DefaultConfig())
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				log.Print("interrupted before the sweep completed")
+				os.Exit(1)
+			}
 			log.Fatal(err)
 		}
 		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
@@ -70,20 +77,28 @@ func main() {
 	// Dies run sequentially — each SweepDie already fans its operating
 	// points out on the engine's pool, and nesting a second Map on the
 	// same pool would deadlock it. The conventional baseline is the same
-	// RunSpec for every die, so the memo simulates it once.
+	// RunSpec for every die, so the memo simulates it once. An interrupt
+	// flushes the summary over the dies that finished instead of
+	// discarding them.
 	picks := map[int]int{}
 	var savings float64
+	completed, interrupted := 0, false
 	for d := int64(0); d < int64(*dies); d++ {
 		sweep, err := eng.SweepDie(ctx, sim.Scheme(*scheme), *bench, d, 1, *n, cpu.DefaultConfig())
 		if err != nil {
+			if errors.Is(err, context.Canceled) {
+				interrupted = true
+				break
+			}
 			log.Fatal(err)
 		}
 		if best, ok := sweep.OptimalPoint(); ok {
 			picks[best.Op.VoltageMV]++
-			savings += (1 - best.NormEPI) / float64(*dies)
+			savings += 1 - best.NormEPI
 		} else {
 			picks[0]++
 		}
+		completed++
 	}
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "optimal mV\tdies")
@@ -98,5 +113,11 @@ func main() {
 		fmt.Fprintf(w, "%s\t%d\n", label, picks[mv])
 	}
 	w.Flush()
-	fmt.Printf("mean EPI reduction across %d dies: %.0f%%\n", *dies, 100*savings)
+	if completed > 0 {
+		fmt.Printf("mean EPI reduction across %d dies: %.0f%%\n", completed, 100*savings/float64(completed))
+	}
+	if interrupted {
+		log.Printf("interrupted after %d/%d dies", completed, *dies)
+		os.Exit(1)
+	}
 }

@@ -39,6 +39,7 @@ func main() {
 		maps    = flag.Int("maps", 5, "Monte Carlo fault maps per cell")
 		seed    = flag.Int64("seed", 1, "master random seed")
 		workers = flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
+		timeout = flag.Duration("timeout", 0, "per-run timeout (0 = none)")
 		profile = flag.String("profile", "", "JSON file with a custom workload profile to register")
 	)
 	flag.Parse()
@@ -79,6 +80,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	eng := sim.NewEngine(*workers)
+	eng.SetJobTimeout(*timeout)
 
 	// Every (scheme, benchmark) row is one engine job; the Monte Carlo
 	// loop inside a row is sequential. The conventional 760 mV baseline
@@ -95,8 +97,10 @@ func main() {
 			rows = append(rows, rowKey{s, b})
 		}
 	}
+	// MapPartial so an interrupt (SIGINT) flushes the rows that already
+	// finished instead of discarding completed work.
 	model := energy.DefaultModel()
-	lines, err := engine.Map(ctx, eng.Pool(), len(rows), func(ctx context.Context, i int) (string, error) {
+	lines, done, err := engine.MapPartial(ctx, eng.Pool(), len(rows), 0, func(ctx context.Context, i int) (string, error) {
 		s, b := rows[i].s, rows[i].b
 		baseline, err := eng.Run(ctx, sim.RunSpec{
 			Scheme: sim.Conventional, Benchmark: b, Op: dvfs.Nominal(),
@@ -138,14 +142,23 @@ func main() {
 		return fmt.Sprintf("%s\t%s\t%.3f\t%.3f\t%.1f\t%.3f\t%d",
 			s, b, stats.Mean(cpis), stats.Mean(runtimes), stats.Mean(l2ks), stats.Mean(epis), yieldFails), nil
 	})
-	if err != nil {
-		log.Fatal(err)
-	}
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "scheme\tbenchmark\tCPI\truntime(ms)\tL2/1k-instr\tEPI(norm)\tyield-fails")
-	for _, line := range lines {
+	completed := 0
+	for i, line := range lines {
+		if !done[i] {
+			continue
+		}
 		fmt.Fprintln(w, line)
+		completed++
 	}
 	w.Flush()
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			log.Printf("interrupted after %d/%d runs", completed, len(rows))
+			os.Exit(1)
+		}
+		log.Fatal(err)
+	}
 }

@@ -10,7 +10,7 @@ import (
 // on the simulated-time path: wall-clock reads there (time.Now,
 // time.Since, ...) would couple results to the host machine and break
 // bit-for-bit replay of a sweep.
-var TimingSensitivePaths = []string{"internal/sim", "internal/cpu", "internal/cache", "internal/engine"}
+var TimingSensitivePaths = []string{"internal/sim", "internal/cpu", "internal/cache", "internal/engine", "internal/inject", "internal/dvfs"}
 
 // Determinism flags the three nondeterminism sources that invalidate a
 // Monte Carlo sweep:

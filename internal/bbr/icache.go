@@ -6,6 +6,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/faultmap"
+	"repro/internal/inject"
 )
 
 // ICache is the BBR instruction cache in low-voltage mode: the 4-way
@@ -20,6 +21,10 @@ type ICache struct {
 	c    *cache.Cache
 	next *core.NextLevel
 	fm   *faultmap.Map
+
+	inj    *inject.Injector // runtime fault layer (nil = static faults only)
+	ticks  uint64           // access clock driving the injector
+	fstats inject.Stats     // detection/recovery counters
 
 	// DefectiveFetches counts fetches that touched a defective physical
 	// word — always zero when the program was linked against the same
@@ -53,8 +58,37 @@ func (ic *ICache) HitLatency() int { return ic.c.Config().HitLatency }
 // Stats exposes the underlying cache counters.
 func (ic *ICache) Stats() cache.Stats { return ic.c.Stats() }
 
+// AttachInjector connects the runtime fault-injection layer. The linker
+// placed the program against the manufacturing fault map only, so
+// injected faults land on words BBR believed safe; Fetch detects them
+// parity-style and recovers (see Fetch). Pass nil to detach.
+func (ic *ICache) AttachInjector(in *inject.Injector) { ic.inj = in }
+
+// FaultStats returns the runtime-injection counters: the injector's
+// event counts merged with the cache's detection/recovery counters.
+// Zero when no injector is attached.
+func (ic *ICache) FaultStats() inject.Stats {
+	s := ic.fstats
+	if ic.inj != nil {
+		s.Add(ic.inj.InjectedStats())
+	}
+	return s
+}
+
+// DisabledFrames returns the number of cache frames taken out of
+// service by unrecoverable injected faults.
+func (ic *ICache) DisabledFrames() int { return ic.c.DisabledFrames() }
+
 // Fetch implements core.InstrCache: a direct-mapped access; misses fill
 // from the next level.
+//
+// With an injector attached, every hit checks the fetched physical word
+// and recovers on detection: a transient flip costs one retry (still a
+// hit); an intermittent fault invalidates the block and refetches it
+// from below (the frame refills on the next fetch and is re-checked);
+// a permanent fault disables the frame outright — relinking the program
+// mid-run is not possible, so the slot's fetches are served from the
+// next level for the rest of the run (capacity degradation).
 func (ic *ICache) Fetch(addr uint64) core.AccessOutcome {
 	// Invariant: the fetched word's physical location must be fault-free.
 	cfg := ic.c.Config()
@@ -62,9 +96,41 @@ func (ic *ICache) Fetch(addr uint64) core.AccessOutcome {
 	if ic.fm.Defective(cfg.DMImageWordIndex(imagePos)) {
 		ic.DefectiveFetches++
 	}
-	res := ic.c.Access(addr, false)
-	if res.Hit {
-		return core.HitOutcome(ic.HitLatency())
+	if ic.inj != nil {
+		ic.ticks++
+		ic.inj.Advance(ic.ticks)
 	}
-	return core.MissOutcome(ic.HitLatency(), ic.next, addr)
+	res := ic.c.Access(addr, false)
+	if !res.Hit {
+		return core.MissOutcome(ic.HitLatency(), ic.next, addr)
+	}
+	if ic.inj != nil {
+		set, way := cfg.Index(addr), cfg.DMWay(addr)
+		phys := cfg.FrameWordIndex(set, way, cache.WordInBlock(addr))
+		switch {
+		case ic.inj.PermanentWord(phys):
+			ic.fstats.Detected++
+			ic.fstats.Uncorrected++
+			ic.fstats.DisabledLines++
+			ic.c.DisableFrame(set, way)
+			out := core.MissOutcome(ic.HitLatency(), ic.next, addr)
+			ic.fstats.RecoveryCycles += uint64(out.Latency - ic.HitLatency())
+			return out
+		case ic.inj.FaultyWord(phys):
+			// Intermittent: drop the block and refetch from below; the
+			// next fetch refills the frame and re-checks it.
+			ic.fstats.Detected++
+			ic.fstats.CorrectedRefetch++
+			ic.c.Invalidate(addr)
+			out := core.MissOutcome(ic.HitLatency(), ic.next, addr)
+			ic.fstats.RecoveryCycles += uint64(out.Latency - ic.HitLatency())
+			return out
+		case ic.inj.TransientNow():
+			ic.fstats.Detected++
+			ic.fstats.CorrectedRetry++
+			ic.fstats.RecoveryCycles += uint64(ic.HitLatency())
+			return core.HitOutcome(2 * ic.HitLatency())
+		}
+	}
+	return core.HitOutcome(ic.HitLatency())
 }

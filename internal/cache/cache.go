@@ -224,6 +224,7 @@ type Stats struct {
 	Evictions   uint64 // valid blocks displaced
 	WriteBacks  uint64 // dirty blocks written to the next level
 	Invalidates uint64 // lines discarded by Flush/Invalidate
+	Disables    uint64 // frames taken out of service by DisableFrame
 }
 
 // Misses returns total read+write misses.
@@ -245,10 +246,11 @@ func (s Stats) HitRate() float64 {
 }
 
 type line struct {
-	tag   uint64
-	valid bool
-	dirty bool
-	lru   uint64 // larger = more recently used
+	tag      uint64
+	valid    bool
+	dirty    bool
+	disabled bool   // frame out of service; never holds data again
+	lru      uint64 // larger = more recently used
 }
 
 // Cache is a tag-array simulator for one cache level.
@@ -329,9 +331,52 @@ func (c *Cache) Flush() {
 			if c.sets[si][wi].valid {
 				c.stats.Invalidates++
 			}
-			c.sets[si][wi] = line{}
+			// Disabled frames model hardware degradation and stay out of
+			// service across flushes.
+			c.sets[si][wi] = line{disabled: c.sets[si][wi].disabled}
 		}
 	}
+}
+
+// DisableFrame takes the frame at (set, way) permanently out of service:
+// the resident block, if any, is invalidated and the frame is never
+// filled again (capacity degradation from an unrecoverable fault).
+// Out-of-range coordinates and already-disabled frames are no-ops.
+func (c *Cache) DisableFrame(set, way int) {
+	if set < 0 || set >= len(c.sets) || way < 0 || way >= c.cfg.Ways {
+		return
+	}
+	l := &c.sets[set][way]
+	if l.disabled {
+		return
+	}
+	if l.valid {
+		c.stats.Invalidates++
+	}
+	*l = line{disabled: true}
+	c.stats.Disables++
+}
+
+// FrameDisabled reports whether the frame at (set, way) is out of
+// service.
+func (c *Cache) FrameDisabled(set, way int) bool {
+	if set < 0 || set >= len(c.sets) || way < 0 || way >= c.cfg.Ways {
+		return false
+	}
+	return c.sets[set][way].disabled
+}
+
+// DisabledFrames returns the number of frames currently out of service.
+func (c *Cache) DisabledFrames() int {
+	n := 0
+	for si := range c.sets {
+		for wi := range c.sets[si] {
+			if c.sets[si][wi].disabled {
+				n++
+			}
+		}
+	}
+	return n
 }
 
 // lookup returns the set and hit way (or -1).
@@ -360,32 +405,46 @@ func (c *Cache) Probe(addr uint64) bool {
 	return way >= 0
 }
 
-// victim selects the fill way for a miss on the given set.
+// victim selects the fill way for a miss on the given set, or -1 when
+// no frame is in service (direct-mapped target disabled, or an entire
+// set out of service): the access is then served from below without a
+// fill.
 func (c *Cache) victim(addr uint64, set int) int {
 	if c.mode == DirectMapped {
-		return c.cfg.DMWay(addr)
+		if w := c.cfg.DMWay(addr); !c.sets[set][w].disabled {
+			return w
+		}
+		return -1
 	}
 	for w := range c.sets[set] {
-		if !c.sets[set][w].valid {
+		if l := &c.sets[set][w]; !l.disabled && !l.valid {
 			return w
 		}
 	}
+	var v int
 	switch c.cfg.Replacement {
 	case ReplacePLRU:
-		return c.plruVictim(set)
+		v = c.plruVictim(set)
 	case ReplaceFIFO:
-		v := int(c.fifo[set]) % c.cfg.Ways
+		v = int(c.fifo[set]) % c.cfg.Ways
 		c.fifo[set]++
-		return v
 	default:
-		best, bestLRU := 0, ^uint64(0)
+		best, bestLRU := -1, ^uint64(0)
 		for w := range c.sets[set] {
-			if l := &c.sets[set][w]; l.lru < bestLRU {
+			if l := &c.sets[set][w]; !l.disabled && l.lru < bestLRU {
 				best, bestLRU = w, l.lru
 			}
 		}
 		return best
 	}
+	// PLRU/FIFO state is oblivious to disabled frames; deterministically
+	// redirect to the next in-service way.
+	for i := 0; i < c.cfg.Ways; i++ {
+		if w := (v + i) % c.cfg.Ways; !c.sets[set][w].disabled {
+			return w
+		}
+	}
+	return -1
 }
 
 // plruVictim walks the tree toward the pseudo-least-recent way: at each
@@ -467,8 +526,12 @@ func (c *Cache) Access(addr uint64, write bool) Result {
 		// No-write-allocate: the store goes straight to the next level.
 		return Result{}
 	}
-	res := Result{Filled: true}
 	w := c.victim(addr, set)
+	if w < 0 {
+		// Every candidate frame is disabled: serve from below, no fill.
+		return Result{}
+	}
+	res := Result{Filled: true}
 	l := &c.sets[set][w]
 	if l.valid {
 		res.Evicted = true

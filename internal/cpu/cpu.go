@@ -30,6 +30,7 @@
 package cpu
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/core"
@@ -73,9 +74,10 @@ type Result struct {
 	Executed uint64
 
 	// Cycle components; Cycles() is their sum.
-	BaseCycles float64 // issue bandwidth + branch resolution
-	L1Cycles   float64 // L1 hit latency exposure (redirects, load-to-use)
-	MemCycles  float64 // L2 and memory stalls
+	BaseCycles     float64 // issue bandwidth + branch resolution
+	L1Cycles       float64 // L1 hit latency exposure (redirects, load-to-use)
+	MemCycles      float64 // L2 and memory stalls
+	RecoveryCycles float64 // fault detection/recovery stalls (runtime injection)
 
 	// Event counts.
 	Loads, Stores, Branches, TakenBranches, Mispredicts uint64
@@ -84,7 +86,9 @@ type Result struct {
 }
 
 // Cycles returns total cycles.
-func (r Result) Cycles() float64 { return r.BaseCycles + r.L1Cycles + r.MemCycles }
+func (r Result) Cycles() float64 {
+	return r.BaseCycles + r.L1Cycles + r.MemCycles + r.RecoveryCycles
+}
 
 // CPI returns cycles per executed instruction (microarchitectural
 // diagnostic; cross-scheme comparisons should use Cycles() directly,
@@ -115,6 +119,15 @@ func (r Result) L2PerKiloInstr() float64 {
 // Both caches must share the NextLevel so L2 contents interleave
 // realistically; next is read for traffic deltas only.
 func Run(cfg Config, s *workload.Stream, ic core.InstrCache, dc core.DataCache, next *core.NextLevel, n uint64) (Result, error) {
+	return RunContext(context.Background(), cfg, s, ic, dc, next, n)
+}
+
+// RunContext is Run with cooperative cancellation: the context is
+// polled every few thousand instructions, and a cancelled or expired
+// context aborts the run with the context's error (and the partial
+// Result accumulated so far). Used by campaign drivers to enforce
+// per-job timeouts.
+func RunContext(ctx context.Context, cfg Config, s *workload.Stream, ic core.InstrCache, dc core.DataCache, next *core.NextLevel, n uint64) (Result, error) {
 	if cfg.Width < 1 {
 		return Result{}, fmt.Errorf("cpu: width %d", cfg.Width)
 	}
@@ -128,6 +141,11 @@ func Run(cfg Config, s *workload.Stream, ic core.InstrCache, dc core.DataCache, 
 	// Transform overhead is bounded (≤1 jump per block visit), so the
 	// executed total is capped defensively at 2n plus slack.
 	for limit := 2*n + 1024; r.Instructions < n && r.Executed < limit; {
+		if r.Executed&0xfff == 0 {
+			if err := ctx.Err(); err != nil {
+				return r, err
+			}
+		}
 		in := s.Next()
 		r.Executed++
 		if !in.Overhead {
@@ -140,6 +158,10 @@ func Run(cfg Config, s *workload.Stream, ic core.InstrCache, dc core.DataCache, 
 		if !fo.Hit {
 			r.FetchMisses++
 			r.MemCycles += float64(fo.Latency - ic.HitLatency())
+		} else if extra := fo.Latency - ic.HitLatency(); extra > 0 {
+			// A hit slower than the hit latency is a detected-fault
+			// retry/recovery stall injected by the fault layer.
+			r.RecoveryCycles += float64(extra)
 		}
 
 		switch in.Kind {
@@ -149,6 +171,8 @@ func Run(cfg Config, s *workload.Stream, ic core.InstrCache, dc core.DataCache, 
 			if !do.Hit {
 				r.LoadMisses++
 				r.MemCycles += float64(do.Latency - dc.HitLatency())
+			} else if extra := do.Latency - dc.HitLatency(); extra > 0 {
+				r.RecoveryCycles += float64(extra)
 			}
 			if extra := dc.HitLatency() - designHitLatency; extra > 0 {
 				r.L1Cycles += float64(extra) * cfg.LoadExposure

@@ -1,0 +1,194 @@
+package dvfs
+
+import "fmt"
+
+// BackoffConfig tunes the graceful-degradation controller: a hysteresis
+// ladder over the DVFS table that raises Vdd one step when the detected
+// runtime-fault rate crosses a threshold and creeps back down after a
+// stretch of stable epochs.
+//
+// The thresholds are in detected faults per kilo-instruction. Adjacent
+// table steps change the injected-fault rate by roughly half a decade
+// (the sram Pfail curve), so the default down threshold at half the up
+// threshold leaves a comfortable hysteresis band: after stepping up,
+// the observed rate falls well below the down threshold and the
+// controller does not oscillate from variance alone.
+type BackoffConfig struct {
+	// UpThreshold: detected faults per kilo-instruction at or above which
+	// the controller steps the voltage up one point. Zero selects the
+	// default 1.0.
+	UpThreshold float64
+	// DownThreshold: rate at or below which an epoch counts as stable.
+	// Zero selects UpThreshold / 2.
+	DownThreshold float64
+	// StableEpochs is the number of consecutive stable epochs required
+	// before stepping back down. Zero selects the default 3.
+	StableEpochs int
+	// MinMV / MaxMV clamp the ladder to a voltage range. Zero selects
+	// 400 mV and the 760 mV nominal point respectively.
+	MinMV, MaxMV int
+}
+
+// DefaultBackoffConfig returns the default controller tuning.
+func DefaultBackoffConfig() BackoffConfig {
+	return BackoffConfig{UpThreshold: 1.0, StableEpochs: 3}
+}
+
+// normalized fills in defaulted fields.
+func (c BackoffConfig) normalized() BackoffConfig {
+	if c.UpThreshold == 0 {
+		c.UpThreshold = 1.0
+	}
+	if c.DownThreshold == 0 {
+		c.DownThreshold = c.UpThreshold / 2
+	}
+	if c.StableEpochs == 0 {
+		c.StableEpochs = 3
+	}
+	if c.MinMV == 0 {
+		c.MinMV = 400
+	}
+	if c.MaxMV == 0 {
+		c.MaxMV = Nominal().VoltageMV
+	}
+	return c
+}
+
+// Validate checks the configuration.
+func (c BackoffConfig) Validate() error {
+	n := c.normalized()
+	switch {
+	case c.UpThreshold < 0 || c.DownThreshold < 0 || c.StableEpochs < 0:
+		return fmt.Errorf("dvfs: negative backoff parameter %+v", c)
+	case n.DownThreshold > n.UpThreshold:
+		return fmt.Errorf("dvfs: down threshold %g above up threshold %g", n.DownThreshold, n.UpThreshold)
+	case n.MinMV > n.MaxMV:
+		return fmt.Errorf("dvfs: min voltage %d above max %d", n.MinMV, n.MaxMV)
+	}
+	return nil
+}
+
+// BackoffAction is the controller's decision for one epoch.
+type BackoffAction int
+
+const (
+	// Hold keeps the current operating point.
+	Hold BackoffAction = iota
+	// StepUp raises the voltage one ladder step (fault rate too high).
+	StepUp
+	// StepDown lowers the voltage one step (enough stable epochs).
+	StepDown
+)
+
+// String implements fmt.Stringer.
+func (a BackoffAction) String() string {
+	switch a {
+	case Hold:
+		return "hold"
+	case StepUp:
+		return "step-up"
+	case StepDown:
+		return "step-down"
+	default:
+		return fmt.Sprintf("BackoffAction(%d)", int(a))
+	}
+}
+
+// Backoff is the graceful-degradation controller state machine. It walks
+// the tabulated operating points within [MinMV, MaxMV]; index 0 is the
+// highest voltage.
+type Backoff struct {
+	cfg    BackoffConfig
+	ladder []OperatingPoint // descending voltage
+	idx    int              // current rung
+	stable int              // consecutive stable epochs at this rung
+	ups    int              // total StepUp decisions taken
+	downs  int              // total StepDown decisions taken
+}
+
+// NewBackoff builds a controller starting at startMV, which must be a
+// tabulated operating point inside the configured range.
+func NewBackoff(cfg BackoffConfig, startMV int) (*Backoff, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	cfg = cfg.normalized()
+	b := &Backoff{cfg: cfg, idx: -1}
+	for _, p := range OperatingPoints() { // descending voltage
+		if p.VoltageMV < cfg.MinMV || p.VoltageMV > cfg.MaxMV {
+			continue
+		}
+		if p.VoltageMV == startMV {
+			b.idx = len(b.ladder)
+		}
+		b.ladder = append(b.ladder, p)
+	}
+	if len(b.ladder) == 0 {
+		return nil, fmt.Errorf("dvfs: no operating points in [%d, %d] mV", cfg.MinMV, cfg.MaxMV)
+	}
+	if b.idx < 0 {
+		return nil, fmt.Errorf("dvfs: start voltage %d mV not on the ladder %v", startMV, b.ladder)
+	}
+	return b, nil
+}
+
+// Config returns the normalized controller configuration.
+func (b *Backoff) Config() BackoffConfig { return b.cfg }
+
+// Current returns the operating point the controller is at.
+func (b *Backoff) Current() OperatingPoint { return b.ladder[b.idx] }
+
+// Ladder returns the controller's operating points, highest voltage
+// first. The slice is a copy.
+func (b *Backoff) Ladder() []OperatingPoint {
+	out := make([]OperatingPoint, len(b.ladder))
+	copy(out, b.ladder)
+	return out
+}
+
+// StepUps and StepDowns return the total transitions taken so far.
+func (b *Backoff) StepUps() int   { return b.ups }
+func (b *Backoff) StepDowns() int { return b.downs }
+
+// Observe feeds one epoch's detected-fault rate (faults per
+// kilo-instruction) to the controller and returns its decision. The
+// voltage change, if any, has already been applied when Observe returns;
+// the caller reconfigures the hardware to Current() before the next
+// epoch.
+func (b *Backoff) Observe(faultsPerKiloInstr float64) BackoffAction {
+	switch {
+	case faultsPerKiloInstr >= b.cfg.UpThreshold && b.idx > 0:
+		b.idx--
+		b.stable = 0
+		b.ups++
+		return StepUp
+	case faultsPerKiloInstr <= b.cfg.DownThreshold:
+		b.stable++
+		if b.stable >= b.cfg.StableEpochs && b.idx < len(b.ladder)-1 {
+			b.idx++
+			b.stable = 0
+			b.downs++
+			return StepDown
+		}
+		return Hold
+	default:
+		// In the hysteresis band (or pinned at the top rung): hold and
+		// restart the stability count.
+		b.stable = 0
+		return Hold
+	}
+}
+
+// ForceUp raises the voltage one step regardless of the observed rate —
+// the escape hatch for yield failures (a die whose fault map cannot be
+// configured at the current point at all). It reports whether a step was
+// possible.
+func (b *Backoff) ForceUp() bool {
+	if b.idx == 0 {
+		return false
+	}
+	b.idx--
+	b.stable = 0
+	b.ups++
+	return true
+}

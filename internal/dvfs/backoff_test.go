@@ -1,0 +1,149 @@
+package dvfs
+
+import "testing"
+
+func newBackoff(t *testing.T, cfg BackoffConfig, startMV int) *Backoff {
+	t.Helper()
+	b, err := NewBackoff(cfg, startMV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestBackoffConfigValidate(t *testing.T) {
+	if err := (BackoffConfig{}).Validate(); err != nil {
+		t.Errorf("zero config must validate (defaults): %v", err)
+	}
+	bad := []BackoffConfig{
+		{UpThreshold: -1},
+		{StableEpochs: -2},
+		{UpThreshold: 1, DownThreshold: 2},
+		{MinMV: 560, MaxMV: 480},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted invalid config", c)
+		}
+	}
+}
+
+func TestNewBackoffLadder(t *testing.T) {
+	b := newBackoff(t, BackoffConfig{}, 400)
+	if got := len(b.Ladder()); got != len(OperatingPoints()) {
+		t.Fatalf("default ladder has %d rungs, want the full table (%d)", got, len(OperatingPoints()))
+	}
+	if b.Current().VoltageMV != 400 {
+		t.Fatalf("start point %v, want 400 mV", b.Current())
+	}
+	if _, err := NewBackoff(BackoffConfig{}, 450); err == nil {
+		t.Error("off-table start voltage accepted")
+	}
+	if _, err := NewBackoff(BackoffConfig{MinMV: 401, MaxMV: 439}, 420); err == nil {
+		t.Error("empty ladder accepted")
+	}
+	if _, err := NewBackoff(BackoffConfig{MinMV: 440, MaxMV: 560}, 400); err == nil {
+		t.Error("start voltage outside the clamp accepted")
+	}
+}
+
+func TestBackoffStepsUpOnHighRate(t *testing.T) {
+	b := newBackoff(t, BackoffConfig{UpThreshold: 1, StableEpochs: 2}, 400)
+	if a := b.Observe(5); a != StepUp {
+		t.Fatalf("action %v, want step-up", a)
+	}
+	if b.Current().VoltageMV != 440 {
+		t.Fatalf("at %v after one step-up from 400", b.Current())
+	}
+	// Pinned at the top: high rates hold.
+	top := newBackoff(t, BackoffConfig{UpThreshold: 1}, 760)
+	if a := top.Observe(100); a != Hold {
+		t.Fatalf("top rung action %v, want hold", a)
+	}
+	if top.StepUps() != 0 {
+		t.Fatal("pinned step counted as a transition")
+	}
+}
+
+func TestBackoffCreepsDownAfterStableEpochs(t *testing.T) {
+	b := newBackoff(t, BackoffConfig{UpThreshold: 1, StableEpochs: 3}, 520)
+	for i := 0; i < 2; i++ {
+		if a := b.Observe(0); a != Hold {
+			t.Fatalf("epoch %d: %v, want hold while accumulating stability", i, a)
+		}
+	}
+	if a := b.Observe(0); a != StepDown {
+		t.Fatalf("third stable epoch: %v, want step-down", a)
+	}
+	if b.Current().VoltageMV != 480 {
+		t.Fatalf("at %v after step-down from 520", b.Current())
+	}
+	if b.StepDowns() != 1 {
+		t.Fatalf("StepDowns = %d, want 1", b.StepDowns())
+	}
+	// At the bottom rung, stability holds instead of stepping.
+	bottom := newBackoff(t, BackoffConfig{StableEpochs: 1}, 400)
+	if a := bottom.Observe(0); a != Hold {
+		t.Fatalf("bottom rung action %v, want hold", a)
+	}
+}
+
+// TestBackoffHysteresis: a rate inside the band neither steps nor counts
+// toward stability.
+func TestBackoffHysteresis(t *testing.T) {
+	b := newBackoff(t, BackoffConfig{UpThreshold: 2, DownThreshold: 1, StableEpochs: 2}, 480)
+	b.Observe(0.5) // stable 1/2
+	if a := b.Observe(1.5); a != Hold {
+		t.Fatalf("in-band action %v, want hold", a)
+	}
+	// The in-band epoch reset the stability count: two more needed.
+	if a := b.Observe(0.5); a != Hold {
+		t.Fatalf("stable epoch after reset: %v, want hold", a)
+	}
+	if a := b.Observe(0.5); a != StepDown {
+		t.Fatalf("second consecutive stable epoch: %v, want step-down", a)
+	}
+}
+
+// TestBackoffFullCycle drives the controller through the acceptance
+// scenario: faults push it up the ladder, stability walks it back down
+// to the lowest rung.
+func TestBackoffFullCycle(t *testing.T) {
+	b := newBackoff(t, BackoffConfig{UpThreshold: 1, StableEpochs: 2}, 400)
+	b.Observe(4)
+	b.Observe(3)
+	if b.Current().VoltageMV != 480 {
+		t.Fatalf("at %v after two step-ups", b.Current())
+	}
+	for i := 0; b.Current().VoltageMV != 400; i++ {
+		if i > 20 {
+			t.Fatalf("controller never returned to 400 mV (stuck at %v)", b.Current())
+		}
+		b.Observe(0)
+	}
+	if b.StepUps() != 2 || b.StepDowns() != 2 {
+		t.Fatalf("transitions %d up / %d down, want 2/2", b.StepUps(), b.StepDowns())
+	}
+}
+
+func TestForceUp(t *testing.T) {
+	b := newBackoff(t, BackoffConfig{}, 440)
+	if !b.ForceUp() {
+		t.Fatal("ForceUp failed off the top rung")
+	}
+	if b.Current().VoltageMV != 480 || b.StepUps() != 1 {
+		t.Fatalf("at %v with %d ups after ForceUp", b.Current(), b.StepUps())
+	}
+	top := newBackoff(t, BackoffConfig{}, 760)
+	if top.ForceUp() {
+		t.Fatal("ForceUp succeeded at the top rung")
+	}
+}
+
+func TestBackoffActionString(t *testing.T) {
+	for a, want := range map[BackoffAction]string{Hold: "hold", StepUp: "step-up", StepDown: "step-down", BackoffAction(7): "BackoffAction(7)"} {
+		if got := a.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(a), got, want)
+		}
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"runtime"
 	"runtime/debug"
 	"sync"
+	"time"
 )
 
 // Pool is a bounded worker pool. The zero value is not usable; construct
@@ -62,6 +63,26 @@ func (e *PanicError) Error() string {
 	return fmt.Sprintf("engine: job panicked: %v\n%s", e.Value, e.Stack)
 }
 
+// TimeoutError reports a job that exceeded the per-job deadline of a
+// MapTimeout or MapPartial call. It unwraps to
+// context.DeadlineExceeded, so errors.Is(err, context.DeadlineExceeded)
+// matches. Index is the job's index, or -1 when the timeout was applied
+// outside a Map grid.
+type TimeoutError struct {
+	Index   int
+	Timeout time.Duration
+}
+
+func (e *TimeoutError) Error() string {
+	if e.Index < 0 {
+		return fmt.Sprintf("engine: job exceeded its %v timeout", e.Timeout)
+	}
+	return fmt.Sprintf("engine: job %d exceeded its %v timeout", e.Index, e.Timeout)
+}
+
+// Unwrap lets errors.Is(err, context.DeadlineExceeded) match.
+func (e *TimeoutError) Unwrap() error { return context.DeadlineExceeded }
+
 // Map executes fn(ctx, i) for every i in [0, n) on the pool and returns
 // the results in index order. The context passed to each job is
 // cancelled as soon as any job returns an error or panics; jobs that
@@ -73,11 +94,59 @@ func (e *PanicError) Error() string {
 // index (never on scheduling, shared mutable state, or completion
 // order), Map's result slice is identical at any worker count.
 func Map[T any](ctx context.Context, p *Pool, n int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	return MapTimeout(ctx, p, n, 0, fn)
+}
+
+// MapTimeout is Map with a per-job deadline: each job's context expires
+// timeout after the job starts (timeout <= 0 means none). A job that
+// dies of its own deadline fails with a *TimeoutError carrying its
+// index, so one stuck run aborts the sweep with a distinct,
+// identifiable error instead of hanging it.
+func MapTimeout[T any](ctx context.Context, p *Pool, n int, timeout time.Duration, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	results := make([]T, n)
-	errs := make([]error, n)
+	results, _, errs := runMap(ctx, p, n, timeout, fn)
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// MapPartial is MapTimeout for interruptible sweeps: instead of
+// discarding everything on failure or cancellation, it always returns
+// the per-index results alongside done flags marking the jobs that
+// completed. On a clean run err is nil and every flag is true. When the
+// caller's ctx is cancelled (e.g. SIGINT) err is ctx's error; when a
+// job fails, err joins the job errors — in both cases the completed
+// results are still valid and callers can flush them before exiting.
+// Cancellation echoes from sibling jobs (errors that merely wrap
+// context.Canceled) are dropped from err: the failure that stopped the
+// run is already recorded.
+func MapPartial[T any](ctx context.Context, p *Pool, n int, timeout time.Duration, fn func(ctx context.Context, i int) (T, error)) (results []T, done []bool, err error) {
+	results, done, errs := runMap(ctx, p, n, timeout, fn)
+	kept := make([]error, 0, len(errs))
+	for _, e := range errs {
+		if e == nil || errors.Is(e, context.Canceled) {
+			continue
+		}
+		kept = append(kept, e)
+	}
+	if err = errors.Join(kept...); err == nil {
+		err = ctx.Err()
+	}
+	return results, done, err
+}
+
+// runMap is the shared scheduling core of Map, MapTimeout and
+// MapPartial.
+func runMap[T any](ctx context.Context, p *Pool, n int, timeout time.Duration, fn func(ctx context.Context, i int) (T, error)) (results []T, done []bool, errs []error) {
+	results = make([]T, n)
+	done = make([]bool, n)
+	errs = make([]error, n)
 	jobCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -100,23 +169,29 @@ func Map[T any](ctx context.Context, p *Pool, n int, fn func(ctx context.Context
 						cancel()
 					}
 				}()
-				v, err := fn(jobCtx, i)
+				ictx := jobCtx
+				if timeout > 0 {
+					var icancel context.CancelFunc
+					ictx, icancel = context.WithTimeout(jobCtx, timeout)
+					defer icancel()
+				}
+				v, err := fn(ictx, i)
 				if err != nil {
+					// Distinguish "this job's own deadline fired" from
+					// "a sibling failure or the caller cancelled us".
+					if timeout > 0 && errors.Is(err, context.DeadlineExceeded) &&
+						ictx.Err() == context.DeadlineExceeded && jobCtx.Err() == nil {
+						err = &TimeoutError{Index: i, Timeout: timeout}
+					}
 					errs[i] = err
 					cancel()
 					return
 				}
 				results[i] = v
+				done[i] = true
 			}(i)
 		}
 	}
 	wg.Wait()
-
-	if err := errors.Join(errs...); err != nil {
-		return nil, err
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	return results, nil
+	return results, done, errs
 }

@@ -1,0 +1,78 @@
+package faultmap
+
+import "testing"
+
+// FuzzMapMutation drives a Map through an arbitrary mutation sequence
+// decoded from the fuzz input and checks the structural invariants the
+// rest of the stack leans on: defect counts agree with per-word state,
+// Clone and the binary encodings are faithful, and a map always
+// subsumes itself. The first byte sizes the map; the rest decodes as
+// (op, word) pairs.
+func FuzzMapMutation(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{4, 1, 0, 0, 3, 1, 7})
+	f.Add([]byte{31, 1, 200, 1, 201, 0, 200, 1, 255})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		words := 8
+		if len(data) > 0 {
+			words = 8 * (1 + int(data[0])%32)
+			data = data[1:]
+		}
+		m := New(words)
+		for i := 0; i+1 < len(data); i += 2 {
+			m.SetDefective(int(data[i+1])%words, data[i]&1 == 1)
+		}
+
+		count := 0
+		for w := 0; w < words; w++ {
+			if m.Defective(w) {
+				count++
+			}
+		}
+		if got := m.CountDefective(); got != count {
+			t.Fatalf("CountDefective = %d, per-word count = %d", got, count)
+		}
+		if got := m.FaultFreeWords(); got != words-count {
+			t.Fatalf("FaultFreeWords = %d, want %d", got, words-count)
+		}
+		if !m.Subsumes(m) {
+			t.Fatal("map does not subsume itself")
+		}
+		if c := m.Clone(); !c.Equal(m) {
+			t.Fatal("Clone not Equal to the original")
+		}
+
+		bin, err := m.MarshalBinary()
+		if err != nil {
+			t.Fatalf("MarshalBinary: %v", err)
+		}
+		var fromBin Map
+		if err := fromBin.UnmarshalBinary(bin); err != nil {
+			t.Fatalf("UnmarshalBinary: %v", err)
+		}
+		if !fromBin.Equal(m) {
+			t.Fatal("binary round trip lost state")
+		}
+		comp, err := m.MarshalCompressed()
+		if err != nil {
+			t.Fatalf("MarshalCompressed: %v", err)
+		}
+		var fromComp Map
+		if err := fromComp.UnmarshalCompressed(comp); err != nil {
+			t.Fatalf("UnmarshalCompressed: %v", err)
+		}
+		if !fromComp.Equal(m) {
+			t.Fatal("compressed round trip lost state")
+		}
+
+		// BlockMask must agree with the per-word view on every block.
+		for b := 0; b < words/8; b++ {
+			mask := m.BlockMask(b)
+			for e := 0; e < 8; e++ {
+				if m.Defective(8*b+e) != (mask&(1<<e) != 0) {
+					t.Fatalf("block %d mask %08b disagrees with word %d", b, mask, 8*b+e)
+				}
+			}
+		}
+	})
+}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/cache"
 	"repro/internal/core"
 	"repro/internal/faultmap"
+	"repro/internal/inject"
 )
 
 // Options configure an FFW cache beyond its geometry.
@@ -32,6 +33,12 @@ type Options struct {
 	// of every word address. Defaults to a deterministic hash of the
 	// address.
 	Backing func(wordAddr uint64) uint32
+	// Injector, when non-nil, attaches the runtime fault-injection layer:
+	// the cache advances the injector once per access and runs a
+	// parity-style check on every window hit (see Read for the
+	// detection/recovery ladder). Nil reproduces the static-fault-map
+	// behaviour bit for bit.
+	Injector *inject.Injector
 }
 
 type line struct {
@@ -51,13 +58,16 @@ type Cache struct {
 	cfg  cache.Config
 	next *core.NextLevel
 	opts Options
+	fm   *faultmap.Map    // manufacturing fault map (read-only)
+	inj  *inject.Injector // runtime fault layer (nil = static faults only)
 
 	sets    [][]line
 	data    []uint32          // physical data array (only populated when TrackData)
 	written map[uint64]uint32 // write-through image of stored words (TrackData)
 	tick    uint64
 
-	stats Stats
+	stats  Stats
+	fstats inject.Stats // detection/recovery counters (injector attached)
 }
 
 // Stats counts FFW-specific events beyond the generic cache statistics.
@@ -82,7 +92,7 @@ func New(fm *faultmap.Map, next *core.NextLevel, opts Options) (*Cache, error) {
 	if next == nil {
 		return nil, fmt.Errorf("ffw: nil next level")
 	}
-	c := &Cache{cfg: cfg, next: next, opts: opts}
+	c := &Cache{cfg: cfg, next: next, opts: opts, fm: fm, inj: opts.Injector}
 	c.sets = make([][]line, cfg.Sets())
 	lines := make([]line, cfg.Blocks())
 	for s := range c.sets {
@@ -131,6 +141,17 @@ func (c *Cache) HitLatency() int { return c.cfg.HitLatency }
 
 // Stats returns the FFW event counters.
 func (c *Cache) Stats() Stats { return c.stats }
+
+// FaultStats returns the runtime-injection counters: the injector's
+// event counts merged with the cache's detection/recovery counters.
+// Zero when no injector is attached.
+func (c *Cache) FaultStats() inject.Stats {
+	s := c.fstats
+	if c.inj != nil {
+		s.Add(c.inj.InjectedStats())
+	}
+	return s
+}
 
 // StoredPattern returns the stored pattern of frame (set, way), for
 // inspection in tests and reports.
@@ -207,19 +228,53 @@ func (c *Cache) refill(set, way int, addr uint64, sameBlock bool) {
 	}
 }
 
+// effectiveFault returns the frame's current fault pattern: the
+// manufacturing map OR'd with any injected intermittent/permanent
+// faults. The manufacturing map itself is never mutated.
+func (c *Cache) effectiveFault(set, way int) uint8 {
+	frame := set*c.cfg.Ways + way
+	m := c.fm.BlockMask(frame)
+	if c.inj != nil {
+		m |= c.inj.BlockMask(frame)
+	}
+	return m
+}
+
 // Read implements core.DataCache. A hit requires both a tag match and the
 // requested word being inside the stored window; otherwise the block is
 // fetched from the next level and the window recenters on the missing
 // word. The missing word is forwarded to the CPU before the window
 // update, so the update adds no latency (it is on the miss path).
+//
+// With a runtime injector attached, every window hit runs a parity-style
+// check on the physical entry being read. Detection escalates:
+//
+//  1. transient flip — retry the access once; the retry reads clean
+//     data, at the cost of one extra hit latency (still a hit).
+//  2. intermittent/permanent fault — refetch the block from the next
+//     level, fold the injected faults into the frame's FMAP entry, and
+//     re-center the window over the remaining fault-free entries
+//     (rebuilding the remap).
+//  3. no fault-free entries left — the frame is disabled (capacity
+//     degradation); data is still correct, served from below.
 func (c *Cache) Read(addr uint64) core.AccessOutcome {
 	c.tick++
+	if c.inj != nil {
+		c.inj.Advance(c.tick)
+	}
 	c.stats.Reads++
 	set, way := c.lookup(addr)
 	word := cache.WordInBlock(addr)
 	if way >= 0 {
 		l := &c.sets[set][way]
 		if l.stored&(1<<uint(word)) != 0 {
+			if c.inj != nil {
+				e := Remap(l.stored, l.fault, word)
+				phys := c.cfg.FrameWordIndex(set, way, e)
+				if sticky := c.inj.FaultyWord(phys); sticky || c.inj.TransientNow() {
+					return c.recoverHit(set, way, addr, sticky)
+				}
+			}
 			l.lru = c.tick
 			l.wordAge[word] = c.tick
 			c.stats.ReadHits++
@@ -234,11 +289,70 @@ func (c *Cache) Read(addr uint64) core.AccessOutcome {
 	// Tag miss.
 	c.stats.TagMiss++
 	out := core.MissOutcome(c.cfg.HitLatency, c.next, addr)
-	if v := c.victim(set); v >= 0 {
+	c.allocate(set, addr)
+	return out
+}
+
+// allocate picks a victim frame and refills it, re-validating each
+// candidate's fault pattern against the injector first: a frame whose
+// effective pattern has no fault-free entries left is disabled and the
+// next victim tried. Bounded by the way count.
+func (c *Cache) allocate(set int, addr uint64) {
+	for range c.sets[set] {
+		v := c.victim(set)
+		if v < 0 {
+			c.stats.Disabled++
+			return
+		}
+		if c.inj != nil {
+			l := &c.sets[set][v]
+			if m := c.effectiveFault(set, v); m != l.fault {
+				l.fault = m
+				if FaultFreeEntries(m) == 0 {
+					l.valid = false
+					c.fstats.DisabledLines++
+					continue
+				}
+			}
+		}
 		c.refill(set, v, addr, false)
-	} else {
-		c.stats.Disabled++
+		return
 	}
+	c.stats.Disabled++
+}
+
+// recoverHit handles a detected fault on a window hit. sticky reports
+// whether the physical entry is under an intermittent/permanent fault
+// (as opposed to a one-access transient flip).
+func (c *Cache) recoverHit(set, way int, addr uint64, sticky bool) core.AccessOutcome {
+	c.fstats.Detected++
+	l := &c.sets[set][way]
+	if !sticky {
+		// Transient: the retry reads clean data — still a hit, one extra
+		// access of latency.
+		c.fstats.CorrectedRetry++
+		c.fstats.RecoveryCycles += uint64(c.cfg.HitLatency)
+		l.lru = c.tick
+		l.wordAge[cache.WordInBlock(addr)] = c.tick
+		c.stats.ReadHits++
+		return core.HitOutcome(2 * c.cfg.HitLatency)
+	}
+	// Sticky fault: refetch the block from below and rebuild the window
+	// over the surviving fault-free entries.
+	out := core.MissOutcome(c.cfg.HitLatency, c.next, addr)
+	c.fstats.RecoveryCycles += uint64(out.Latency - c.cfg.HitLatency)
+	mask := c.effectiveFault(set, way)
+	l.fault = mask
+	if FaultFreeEntries(mask) == 0 {
+		// Unrecoverable: take the frame out of service.
+		l.valid = false
+		l.stored = 0
+		c.fstats.Uncorrected++
+		c.fstats.DisabledLines++
+		return out
+	}
+	c.fstats.CorrectedRefetch++
+	c.refill(set, way, addr, false)
 	return out
 }
 
@@ -274,6 +388,12 @@ func (c *Cache) ReadWord(addr uint64) (core.AccessOutcome, uint32) {
 // cache misses" applies to loads; stores simply bypass).
 func (c *Cache) Write(addr uint64) core.AccessOutcome {
 	c.tick++
+	if c.inj != nil {
+		// Writes advance the fault clock but need no detection: the cache
+		// is write-through, so the architected value is always safe below
+		// and a corrupted in-window copy is caught by the next read.
+		c.inj.Advance(c.tick)
+	}
 	c.stats.Writes++
 	c.next.WriteWord(addr)
 	set, way := c.lookup(addr)

@@ -1,0 +1,58 @@
+package ffw
+
+import (
+	"math/bits"
+	"testing"
+)
+
+// FuzzWindowRoundTrip checks the stored-pattern/remap contract for
+// arbitrary (k, requested word, fault mask, placement) combinations:
+// Window must cover the requested word, fit the frame's fault-free
+// capacity when one exists, and every stored word must remap to a
+// distinct, fault-free, monotonically increasing physical entry — the
+// properties the hit path and the recovery rebuild both rely on.
+func FuzzWindowRoundTrip(f *testing.F) {
+	f.Add(uint8(5), uint8(3), uint8(0b01010000), uint8(0))
+	f.Add(uint8(8), uint8(0), uint8(0), uint8(1))
+	f.Add(uint8(1), uint8(7), uint8(0b11111110), uint8(0))
+	f.Add(uint8(0), uint8(2), uint8(0xFF), uint8(1))
+	f.Fuzz(func(t *testing.T, kRaw, reqRaw, fault, placeRaw uint8) {
+		k := int(kRaw % (WordsPerBlock + 1))
+		req := int(reqRaw % WordsPerBlock)
+		placement := WindowPlacement(placeRaw % 2)
+
+		stored := Window(k, req, placement)
+		if k > 0 && stored&(1<<uint(req)) == 0 {
+			t.Fatalf("Window(%d, %d, %v) = %08b does not cover the requested word", k, req, placement, stored)
+		}
+		if got := bits.OnesCount8(stored); got != k {
+			t.Fatalf("Window(%d, %d, %v) stores %d words", k, req, placement, got)
+		}
+
+		// The refill path sizes k to the frame's capacity; only patterns
+		// that fit have a remapping guarantee.
+		if k > FaultFreeEntries(fault) {
+			return
+		}
+		prev := -1
+		for w := 0; w < WordsPerBlock; w++ {
+			e := Remap(stored, fault, w)
+			if stored&(1<<uint(w)) == 0 {
+				if e != -1 {
+					t.Fatalf("Remap(%08b, %08b, %d) = %d for an unstored word", stored, fault, w, e)
+				}
+				continue
+			}
+			if e < 0 || e >= WordsPerBlock {
+				t.Fatalf("Remap(%08b, %08b, %d) = %d out of range", stored, fault, w, e)
+			}
+			if fault&(1<<uint(e)) != 0 {
+				t.Fatalf("Remap(%08b, %08b, %d) = %d lands on a defective entry", stored, fault, w, e)
+			}
+			if e <= prev {
+				t.Fatalf("Remap(%08b, %08b, %d) = %d not strictly increasing (prev %d)", stored, fault, w, e, prev)
+			}
+			prev = e
+		}
+	})
+}

@@ -1,0 +1,244 @@
+package inject
+
+import (
+	"math"
+	"testing"
+)
+
+const testWords = 8 * 1024
+
+func mustNew(t *testing.T, words, mv int, p Params) *Injector {
+	t.Helper()
+	in, err := New(words, mv, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Params{
+		{Intensity: -1},
+		{Intensity: 1, TransientWeight: -0.1},
+		{Intensity: 1, ClusterMean: -2},
+		{Intensity: 1, WindowMean: -3},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted invalid params", p)
+		}
+	}
+	if err := (Params{}).Validate(); err != nil {
+		t.Errorf("zero Params must validate: %v", err)
+	}
+	if (Params{}).Enabled() {
+		t.Error("zero Params must be disabled")
+	}
+	if !(Params{Intensity: 1}).Enabled() {
+		t.Error("positive intensity must be enabled")
+	}
+}
+
+func TestNewRejectsBadGeometry(t *testing.T) {
+	if _, err := New(0, 400, Params{}); err == nil {
+		t.Fatal("New accepted zero words")
+	}
+	if _, err := New(8, 400, Params{Intensity: -1}); err == nil {
+		t.Fatal("New accepted invalid params")
+	}
+}
+
+// TestRateVoltageDependence pins the sram-derived rate curve: monotone
+// in voltage, anchored at 400 mV, and effectively zero at nominal.
+func TestRateVoltageDependence(t *testing.T) {
+	r400 := RatePerAccess(1, 400)
+	if want := 1.0 / 1000; math.Abs(r400-want) > 1e-12 {
+		t.Fatalf("rate at 400 mV = %g, want %g (anchor)", r400, want)
+	}
+	prev := r400
+	for _, mv := range []int{440, 480, 520, 560, 760} {
+		r := RatePerAccess(1, mv)
+		if r >= prev {
+			t.Fatalf("rate at %d mV = %g, not below rate at previous step %g", mv, r, prev)
+		}
+		prev = r
+	}
+	if r := RatePerAccess(1, 760); r > r400/1000 {
+		t.Fatalf("rate at nominal = %g, want <= 1/1000 of the 400 mV rate", r)
+	}
+	if RatePerAccess(0, 400) != 0 {
+		t.Fatal("zero intensity must give zero rate")
+	}
+}
+
+// TestDeterminism: two injectors with the same seed advanced over the
+// same tick sequence expose identical fault state at every step.
+func TestDeterminism(t *testing.T) {
+	p := Params{Seed: 42, Intensity: 30}
+	a := mustNew(t, testWords, 400, p)
+	b := mustNew(t, testWords, 400, p)
+	for tick := uint64(1); tick <= 20000; tick++ {
+		a.Advance(tick)
+		b.Advance(tick)
+		if a.TransientNow() != b.TransientNow() {
+			t.Fatalf("tick %d: transient state diverged", tick)
+		}
+		if tick%64 == 0 {
+			for blk := 0; blk < testWords/WordsPerBlock; blk += 97 {
+				if a.BlockMask(blk) != b.BlockMask(blk) {
+					t.Fatalf("tick %d: block %d mask diverged", tick, blk)
+				}
+			}
+		}
+	}
+	if a.InjectedStats() != b.InjectedStats() {
+		t.Fatalf("stats diverged: %+v vs %+v", a.InjectedStats(), b.InjectedStats())
+	}
+	if a.InjectedStats().Injected() == 0 {
+		t.Fatal("campaign injected nothing at intensity 30 / 400 mV")
+	}
+}
+
+// TestKindMix checks all three kinds appear under the default mix and
+// that the empirical event count is in the right ballpark for the
+// configured rate.
+func TestKindMix(t *testing.T) {
+	in := mustNew(t, testWords, 400, Params{Seed: 7, Intensity: 50})
+	const ticks = 100_000
+	for tick := uint64(1); tick <= ticks; tick++ {
+		in.Advance(tick)
+	}
+	s := in.InjectedStats()
+	if s.InjectedTransient == 0 || s.InjectedIntermittent == 0 || s.InjectedPermanent == 0 {
+		t.Fatalf("missing kinds in %+v", s)
+	}
+	want := float64(ticks) * RatePerAccess(50, 400)
+	got := float64(s.Injected())
+	if got < want/2 || got > want*2 {
+		t.Fatalf("injected %v events, want within 2x of %v", got, want)
+	}
+	if s.InjectedTransient < s.InjectedPermanent {
+		t.Fatalf("default mix should favour transients: %+v", s)
+	}
+}
+
+// TestIntermittentExpiry: intermittent faults activate, stay active
+// within their window, and subside afterwards; permanents never do.
+func TestIntermittentExpiry(t *testing.T) {
+	// All-intermittent mix with a short window.
+	in := mustNew(t, testWords, 400, Params{
+		Seed: 3, Intensity: 20, IntermittentWeight: 1, WindowMean: 50,
+	})
+	sawActive := false
+	for tick := uint64(1); tick <= 50_000; tick++ {
+		in.Advance(tick)
+		if in.ActiveIntermittents() > 0 {
+			sawActive = true
+		}
+	}
+	if !sawActive {
+		t.Fatal("no intermittent event ever active")
+	}
+	// Jump far ahead: everything whose window ended inside the jump must
+	// be retired. A handful of events spawned near the horizon can still
+	// legitimately straddle it (rate x window ~ 1 active in steady state),
+	// but none may linger past its own end tick.
+	const horizon = 10_000_000
+	in.Advance(horizon)
+	for _, e := range in.active {
+		if e.end <= horizon {
+			t.Fatalf("event [%d,%d) still active at tick %d", e.start, e.end, uint64(horizon))
+		}
+	}
+	if n := in.ActiveIntermittents(); n > 16 {
+		t.Fatalf("%d intermittent events active at the horizon, want the steady-state handful", n)
+	}
+	if in.PermanentWords() != 0 {
+		t.Fatal("permanent faults appeared in an all-intermittent mix")
+	}
+}
+
+// TestPermanentAccumulation: permanent faults only grow.
+func TestPermanentAccumulation(t *testing.T) {
+	in := mustNew(t, testWords, 400, Params{Seed: 9, Intensity: 20, PermanentWeight: 1})
+	prev := 0
+	for tick := uint64(1); tick <= 30_000; tick++ {
+		in.Advance(tick)
+		if n := in.PermanentWords(); n < prev {
+			t.Fatalf("permanent words shrank: %d -> %d", prev, n)
+		} else {
+			prev = n
+		}
+	}
+	if prev == 0 {
+		t.Fatal("no permanent faults accumulated")
+	}
+	for w := 0; w < testWords; w++ {
+		if in.PermanentWord(w) && !in.FaultyWord(w) {
+			t.Fatalf("word %d permanent but not faulty", w)
+		}
+	}
+}
+
+// TestClustering: with a large cluster mean, multi-word clusters occur —
+// adjacent words fail together (the MoRS spatial-correlation shape).
+func TestClustering(t *testing.T) {
+	in := mustNew(t, testWords, 400, Params{Seed: 11, Intensity: 10, PermanentWeight: 1, ClusterMean: 4})
+	for tick := uint64(1); tick <= 20_000; tick++ {
+		in.Advance(tick)
+	}
+	events := in.InjectedStats().InjectedPermanent
+	words := in.PermanentWords()
+	if events == 0 {
+		t.Fatal("no permanent events")
+	}
+	// Mean cluster size 1+ClusterMean = 5; overlap can only shrink the
+	// observed ratio, so >2 demonstrates genuine clustering.
+	if ratio := float64(words) / float64(events); ratio < 2 {
+		t.Fatalf("words/event = %.2f, want > 2 (clustered)", ratio)
+	}
+}
+
+// TestBlockMaskMatchesFaultyWord pins the mask/word query consistency.
+func TestBlockMaskMatchesFaultyWord(t *testing.T) {
+	in := mustNew(t, testWords, 400, Params{Seed: 5, Intensity: 40})
+	for tick := uint64(1); tick <= 10_000; tick++ {
+		in.Advance(tick)
+	}
+	for blk := 0; blk < testWords/WordsPerBlock; blk++ {
+		mask := in.BlockMask(blk)
+		for i := 0; i < WordsPerBlock; i++ {
+			want := in.FaultyWord(blk*WordsPerBlock + i)
+			if got := mask&(1<<uint(i)) != 0; got != want {
+				t.Fatalf("block %d word %d: mask %v, FaultyWord %v", blk, i, got, want)
+			}
+		}
+	}
+}
+
+func TestStatsArithmetic(t *testing.T) {
+	a := Stats{InjectedTransient: 3, Detected: 5, CorrectedRetry: 2, CorrectedRefetch: 1, RecoveryCycles: 40}
+	b := Stats{InjectedTransient: 1, Detected: 2, CorrectedRetry: 1, Uncorrected: 1, RecoveryCycles: 10}
+	sum := a
+	sum.Add(b)
+	if sum.Detected != 7 || sum.InjectedTransient != 4 || sum.RecoveryCycles != 50 {
+		t.Fatalf("Add wrong: %+v", sum)
+	}
+	if got := sum.Sub(a); got != b {
+		t.Fatalf("Sub wrong: %+v != %+v", got, b)
+	}
+	if sum.Corrected() != 4 {
+		t.Fatalf("Corrected = %d, want 4", sum.Corrected())
+	}
+	if sum.Injected() != 4 {
+		t.Fatalf("Injected = %d, want 4", sum.Injected())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{Transient: "transient", Intermittent: "intermittent", Permanent: "permanent", Kind(9): "Kind(9)"} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}

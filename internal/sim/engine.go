@@ -2,7 +2,9 @@ package sim
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"time"
 
 	"repro/internal/cpu"
 	"repro/internal/engine"
@@ -27,6 +29,9 @@ type Engine struct {
 	// inject failures and observe cancellation; production code always
 	// goes through Run.
 	runFn func(context.Context, RunSpec) (cpu.Result, error)
+	// jobTimeout bounds each simulation run (and each chaos campaign
+	// scheduled through ChaosCampaign); zero means unbounded.
+	jobTimeout time.Duration
 }
 
 // NewEngine returns an engine with the given worker bound; workers <= 0
@@ -35,9 +40,7 @@ func NewEngine(workers int) *Engine {
 	return &Engine{
 		pool: engine.New(workers),
 		runs: engine.NewMemo[RunSpec, cpu.Result](),
-		runFn: func(_ context.Context, spec RunSpec) (cpu.Result, error) {
-			return Run(spec)
-		},
+		runFn: RunContext,
 	}
 }
 
@@ -56,11 +59,38 @@ func (e *Engine) MemoStats() (hits, misses int64) {
 	return e.runs.Hits(), e.runs.Misses()
 }
 
+// SetJobTimeout bounds every simulation run scheduled through the
+// engine (the `-timeout` flag in the commands): a run exceeding d fails
+// with an error wrapping context.DeadlineExceeded instead of hanging
+// the sweep it belongs to. d <= 0 removes the bound. Set before
+// scheduling work; the engine does not synchronize this field against
+// in-flight runs.
+func (e *Engine) SetJobTimeout(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	e.jobTimeout = d
+}
+
+// JobTimeout returns the per-run bound (zero when unbounded).
+func (e *Engine) JobTimeout() time.Duration { return e.jobTimeout }
+
 // Run executes one simulation through the engine's memo: a spec already
 // executed on this engine returns its cached result without simulating.
 func (e *Engine) Run(ctx context.Context, spec RunSpec) (cpu.Result, error) {
 	return e.runs.Do(ctx, spec, func() (cpu.Result, error) {
-		return e.runFn(ctx, spec)
+		rctx := ctx
+		if e.jobTimeout > 0 {
+			var cancel context.CancelFunc
+			rctx, cancel = context.WithTimeout(ctx, e.jobTimeout)
+			defer cancel()
+		}
+		r, err := e.runFn(rctx, spec)
+		if err != nil && e.jobTimeout > 0 && errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil {
+			err = fmt.Errorf("sim: %s/%s at %d mV exceeded the %v run timeout: %w",
+				spec.Scheme, spec.Benchmark, spec.Op.VoltageMV, e.jobTimeout, err)
+		}
+		return r, err
 	})
 }
 

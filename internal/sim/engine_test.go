@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/cpu"
 	"repro/internal/dvfs"
@@ -182,5 +183,34 @@ func TestSweepDieContextMatchesSequential(t *testing.T) {
 	}
 	if !reflect.DeepEqual(a, b) {
 		t.Error("parallel die sweep diverged from the default engine's")
+	}
+}
+
+// TestEngineJobTimeout: a run that outlives the engine's job timeout
+// fails with a deadline error naming the run, without poisoning the
+// engine for later (faster) runs.
+func TestEngineJobTimeout(t *testing.T) {
+	e := NewEngine(1)
+	e.SetJobTimeout(10 * time.Millisecond)
+	slow := true
+	inner := e.runFn
+	e.runFn = func(ctx context.Context, spec RunSpec) (cpu.Result, error) {
+		if slow {
+			<-ctx.Done()
+			return cpu.Result{}, ctx.Err()
+		}
+		return inner(ctx, spec)
+	}
+	spec := RunSpec{Scheme: DefectFree, Benchmark: "adpcm", Op: op(t, 560),
+		WorkSeed: 1, Instructions: 5_000, CPU: cpu.DefaultConfig()}
+	if _, err := e.Run(context.Background(), spec); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want a deadline error", err)
+	}
+	// The memo must not cache the timeout: the run retries once the
+	// simulator behaves.
+	slow = false
+	e.SetJobTimeout(0)
+	if _, err := e.Run(context.Background(), spec); err != nil {
+		t.Fatalf("run after timeout: %v", err)
 	}
 }

@@ -6,6 +6,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/dvfs"
 	"repro/internal/faultmap"
 	"repro/internal/ffw"
+	"repro/internal/inject"
 	"repro/internal/program"
 	"repro/internal/schemes"
 	"repro/internal/workload"
@@ -121,6 +123,12 @@ type RunSpec struct {
 	// Scatter enables FFW's non-contiguous stored-pattern extension
 	// (ablation; not the paper's mechanism).
 	Scatter bool
+	// Inject configures the runtime fault-injection layer (package
+	// inject). The zero value — injection disabled — reproduces the
+	// static-fault-map behaviour bit for bit. Only FFW+BBR carries the
+	// detection/recovery machinery, so injection on any other scheme is
+	// rejected.
+	Inject inject.Params
 }
 
 // ErrYield is wrapped when a scheme cannot guarantee correct operation on
@@ -132,6 +140,12 @@ const l1Words = 32 * 1024 / 4
 
 // Run executes one simulation and returns the timing result.
 func Run(spec RunSpec) (cpu.Result, error) {
+	return RunContext(context.Background(), spec)
+}
+
+// RunContext is Run with cooperative cancellation (per-job timeouts in
+// campaign drivers); the context is threaded into the instruction loop.
+func RunContext(ctx context.Context, spec RunSpec) (cpu.Result, error) {
 	prof, err := workload.ByName(spec.Benchmark)
 	if err != nil {
 		return cpu.Result{}, err
@@ -178,7 +192,7 @@ func Run(spec RunSpec) (cpu.Result, error) {
 	}
 
 	stream := workload.NewStream(prof, prog, layout, spec.WorkSeed)
-	return cpu.Run(spec.CPU, stream, ic, dc, next, spec.Instructions)
+	return cpu.RunContext(ctx, spec.CPU, stream, ic, dc, next, spec.Instructions)
 }
 
 func drawMap(pfailBit float64, seed int64) *faultmap.Map {
@@ -197,6 +211,9 @@ func drawSECDEDMap(pfailBit float64, seed int64) *faultmap.Map {
 
 // buildCaches constructs the scheme's instruction and data caches.
 func buildCaches(spec RunSpec, fmI, fmD *faultmap.Map, next *core.NextLevel) (core.InstrCache, core.DataCache, error) {
+	if spec.Inject.Enabled() && spec.Scheme != FFWBBR {
+		return nil, nil, fmt.Errorf("sim: runtime fault injection requires scheme %q (got %q)", FFWBBR, spec.Scheme)
+	}
 	switch spec.Scheme {
 	case DefectFree:
 		return schemes.NewDefectFree(next), schemes.NewDefectFree(next), nil
@@ -260,7 +277,22 @@ func buildCaches(spec RunSpec, fmI, fmD *faultmap.Map, next *core.NextLevel) (co
 		if err != nil {
 			return nil, nil, err
 		}
-		dc, err := ffw.New(fmD, next, ffw.Options{Placement: spec.Placement, Scatter: spec.Scatter})
+		opts := ffw.Options{Placement: spec.Placement, Scatter: spec.Scatter}
+		if spec.Inject.Enabled() {
+			// Independent event streams per cache, salted so the I- and
+			// D-side injectors never correlate.
+			injI, ierr := inject.New(l1Words, spec.Op.VoltageMV, spec.Inject.WithSeed(spec.Inject.Seed*2+21))
+			if ierr != nil {
+				return nil, nil, ierr
+			}
+			injD, derr := inject.New(l1Words, spec.Op.VoltageMV, spec.Inject.WithSeed(spec.Inject.Seed*2+22))
+			if derr != nil {
+				return nil, nil, derr
+			}
+			ic.AttachInjector(injI)
+			opts.Injector = injD
+		}
+		dc, err := ffw.New(fmD, next, opts)
 		return ic, dc, err
 	case BitFixScheme:
 		ic, err := schemes.NewBitFix(fmI, next)

@@ -24,6 +24,7 @@ import (
 	"repro/internal/cacti"
 	"repro/internal/cpu"
 	"repro/internal/dvfs"
+	"repro/internal/inject"
 	"repro/internal/sim"
 	"repro/internal/sram"
 	"repro/internal/workload"
@@ -57,6 +58,23 @@ type (
 	// RunSpecs (baselines, overlapping grids) simulate only once;
 	// results are byte-identical at any worker count for a fixed seed.
 	Engine = sim.Engine
+	// InjectParams configures deterministic runtime fault injection on a
+	// RunSpec or ChaosSpec (the zero value disables it).
+	InjectParams = inject.Params
+	// InjectStats is the detection/recovery ledger of an injected run.
+	InjectStats = inject.Stats
+	// BackoffConfig tunes the graceful voltage back-off controller.
+	BackoffConfig = dvfs.BackoffConfig
+	// ChaosSpec pins one fault-injection campaign: an FFW+BBR die under
+	// runtime injection, steered by the back-off controller.
+	ChaosSpec = sim.ChaosSpec
+	// ChaosResult aggregates one campaign: per-epoch trace, residency
+	// histogram, fault ledger and controller transitions.
+	ChaosResult = sim.ChaosResult
+	// ChaosEpoch is one controller epoch of a campaign.
+	ChaosEpoch = sim.ChaosEpoch
+	// Residency is campaign time spent at one operating point.
+	Residency = sim.Residency
 )
 
 // NewEngine returns an experiment engine bounded to the given worker
@@ -125,6 +143,22 @@ func SweepDie(scheme Scheme, benchmark string, dieSeed, workSeed int64, instruct
 // operating points as parallel jobs on a fresh default-width engine.
 func SweepDieContext(ctx context.Context, scheme Scheme, benchmark string, dieSeed, workSeed int64, instructions uint64, cpuCfg CPUConfig) (*DieSweep, error) {
 	return sim.NewEngine(0).SweepDie(ctx, scheme, benchmark, dieSeed, workSeed, instructions, cpuCfg)
+}
+
+// DefaultBackoffConfig returns the back-off controller's default tuning.
+func DefaultBackoffConfig() BackoffConfig { return dvfs.DefaultBackoffConfig() }
+
+// RunChaos executes one fault-injection campaign on a fresh
+// default-width engine with a background context. It is the facade over
+// Engine.RunChaos; to batch campaigns with shared memoized baselines,
+// construct one Engine and call its ChaosCampaign.
+func RunChaos(spec ChaosSpec) (*ChaosResult, error) {
+	return sim.NewEngine(0).RunChaos(context.Background(), spec)
+}
+
+// RunChaosContext is RunChaos with cancellation.
+func RunChaosContext(ctx context.Context, spec ChaosSpec) (*ChaosResult, error) {
+	return sim.NewEngine(0).RunChaos(ctx, spec)
 }
 
 // OperatingPoints returns the paper's DVFS table (Table II).

@@ -91,3 +91,25 @@ func TestFacadeConfigs(t *testing.T) {
 		t.Error("QuickConfig should be smaller than ReportConfig")
 	}
 }
+
+func TestFacadeRunChaos(t *testing.T) {
+	res, err := RunChaos(ChaosSpec{
+		Benchmark: "qsort", DieSeed: 3, WorkSeed: 1,
+		Inject:  InjectParams{Seed: 9, Intensity: 5},
+		StartMV: 400, Epochs: 4, EpochInstructions: 20_000,
+		CPU:     cpu.DefaultConfig(),
+		Backoff: DefaultBackoffConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Epochs) != 4 {
+		t.Fatalf("campaign ran %d epochs, want 4", len(res.Epochs))
+	}
+	if res.Totals.Detected == 0 {
+		t.Error("campaign detected no injected faults")
+	}
+	if len(res.Residency) == 0 {
+		t.Error("empty residency histogram")
+	}
+}

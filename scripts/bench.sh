@@ -38,3 +38,31 @@ go test -run '^$' -bench . -benchtime "${BENCHTIME:-1x}" . | tee /dev/stderr | a
 	}
 ' >"$out"
 echo "bench: wrote $out"
+
+# Second pass: the fault-injection robustness numbers. The two
+# BenchmarkInjectRecovery sub-benchmarks run the identical simulation
+# with injection off and on, so their ns/op difference is the
+# detection/recovery overhead; BenchmarkChaosCampaign's ns/op is the
+# cost of one ten-epoch back-off campaign.
+out=BENCH_inject.json
+go test -run '^$' -bench 'BenchmarkInjectRecovery|BenchmarkChaosCampaign' -benchtime "${BENCHTIME:-1x}" . | tee /dev/stderr | awk '
+	/^Benchmark/ {
+		name = $1; sub(/-[0-9]+$/, "", name)
+		if (!(name in ns)) order[n++] = name
+		ns[name] = $3
+	}
+	END {
+		off = "BenchmarkInjectRecovery/inject=off"
+		on = "BenchmarkInjectRecovery/inject=on"
+		camp = "BenchmarkChaosCampaign"
+		printf "{\n"
+		if ((off in ns) && (on in ns))
+			printf "  \"recovery_overhead_ns_per_op\": %.0f,\n", ns[on] - ns[off]
+		if (camp in ns)
+			printf "  \"campaign_ns_per_op\": %.0f,\n", ns[camp]
+		for (i = 0; i < n; i++)
+			printf "  \"%s\": {\"ns_per_op\": %s}%s\n", order[i], ns[order[i]], (i < n - 1 ? "," : "")
+		printf "}\n"
+	}
+' >"$out"
+echo "bench: wrote $out"

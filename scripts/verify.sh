@@ -7,8 +7,12 @@
 #            errdrop, lockguard, nopanic); nonzero exit on any finding
 #   test   — full unit/integration suite
 #   race   — race detector on the packages with shared mutable state
-#            (the run scheduler, the simulator fan-out and the cache
-#            model it drives)
+#            (the run scheduler, the simulator fan-out, the cache model
+#            it drives, and the fault-injection/back-off layers the
+#            chaos campaigns exercise concurrently)
+#   fuzz   — short campaigns on the fuzz targets (serialization, fault
+#            map mutation, FFW stored-pattern round trip); regressions
+#            land in the checked-in corpus
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -25,7 +29,14 @@ go run ./cmd/lvlint ./...
 echo '== go test ./...'
 go test ./...
 
-echo '== go test -race ./internal/engine/... ./internal/sim/... ./internal/cache/...'
-go test -race ./internal/engine/... ./internal/sim/... ./internal/cache/...
+echo '== go test -race ./internal/engine/... ./internal/sim/... ./internal/cache/... ./internal/inject/... ./internal/dvfs/...'
+go test -race ./internal/engine/... ./internal/sim/... ./internal/cache/... ./internal/inject/... ./internal/dvfs/...
+
+FUZZTIME="${FUZZTIME:-3s}"
+echo "== go test -fuzz (${FUZZTIME} each)"
+go test -run '^$' -fuzz '^FuzzUnmarshalBinary$' -fuzztime "$FUZZTIME" ./internal/faultmap/
+go test -run '^$' -fuzz '^FuzzUnmarshalCompressed$' -fuzztime "$FUZZTIME" ./internal/faultmap/
+go test -run '^$' -fuzz '^FuzzMapMutation$' -fuzztime "$FUZZTIME" ./internal/faultmap/
+go test -run '^$' -fuzz '^FuzzWindowRoundTrip$' -fuzztime "$FUZZTIME" ./internal/ffw/
 
 echo 'verify: all gates passed'
