@@ -1,29 +1,40 @@
 // Command lvlint runs the repo's static-analysis suite
-// (internal/analyze) over the module: determinism, unit discipline,
-// exhaustive scheme switches, dropped errors, lock discipline and
-// panic hygiene — the invariants the paper's relative energy/runtime
-// numbers depend on.
+// (internal/analyze) over the module: determinism taint flow, unit
+// discipline, exhaustive scheme switches, dropped errors, lock
+// discipline and panic hygiene — the invariants the paper's relative
+// energy/runtime numbers depend on.
 //
 // Usage:
 //
 //	lvlint ./...                # whole module (what scripts/verify.sh runs)
 //	lvlint ./internal/sim       # one package directory
-//	lvlint -checks determinism,unitcheck ./...
+//	lvlint -checks detflow,unitflow ./...
 //	lvlint -list                # describe the checks
+//	lvlint -json ./...          # findings as a JSON array on stdout
+//	lvlint -fix ./...           # apply mechanically safe rewrites
+//	lvlint -workers 4 ./...     # bound package-parallel analysis
 //
 // Findings print as file:line:col: [check] message; the exit status is
 // 1 when there are findings, 2 on a load error. Suppress a finding with
 // a trailing or preceding comment:
 //
 //	//lvlint:ignore <check> <reason>
+//
+// Full-module runs are cached under .lvlint-cache/ keyed by a content
+// hash of the tool version, the check selection, go.sum and every
+// source file; -no-cache bypasses the cache, and -fix always runs cold
+// (fix positions don't survive serialization).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"go/token"
 	"log"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"repro/internal/analyze"
@@ -33,9 +44,13 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("lvlint: ")
 	var (
-		checks = flag.String("checks", "", "comma-separated checks to run (default: all)")
-		list   = flag.Bool("list", false, "list the available checks and exit")
-		quiet  = flag.Bool("q", false, "print only the finding count")
+		checks  = flag.String("checks", "", "comma-separated checks to run (default: all)")
+		list    = flag.Bool("list", false, "list the available checks and exit")
+		quiet   = flag.Bool("q", false, "print only the finding count")
+		jsonOut = flag.Bool("json", false, "print findings as a JSON array")
+		fix     = flag.Bool("fix", false, "apply suggested fixes to the source files")
+		workers = flag.Int("workers", 0, "package-parallel analysis workers (0 = GOMAXPROCS)")
+		noCache = flag.Bool("no-cache", false, "bypass the .lvlint-cache result cache")
 	)
 	flag.Parse()
 
@@ -63,13 +78,90 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// The cache serves only whole-module runs: a subset run's result
+	// depends on the pattern list, and whole-module is the hot path
+	// (scripts/verify.sh, CI).
+	var names []string
+	for _, a := range analyzers {
+		names = append(names, a.Name)
+	}
+	cacheable := !*fix && !*noCache && wholeModule(args)
+	cache := analyze.OpenCache(root)
+	var cacheKey string
+	if cacheable {
+		if key, err := cache.Key(root, names); err == nil {
+			cacheKey = key
+			if diags, ok := cache.Get(root, key); ok {
+				emit(diags, *quiet, *jsonOut)
+				return
+			}
+		}
+	}
+
 	pkgs, err := load(root, module, args)
 	if err != nil {
 		log.Fatal(err)
 	}
-	diags := analyze.Run(pkgs, analyzers, module)
+	diags := analyze.RunWorkers(pkgs, analyzers, module, *workers)
+
+	if *fix {
+		fixed, err := analyze.ApplyFixes(fsetOf(pkgs), diags)
+		if err != nil {
+			log.Fatal(err)
+		}
+		names := make([]string, 0, len(fixed))
+		for name := range fixed {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if err := os.WriteFile(name, fixed[name], 0o644); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("lvlint: fixed %s\n", relPath(name))
+		}
+		if len(fixed) == 0 {
+			fmt.Println("lvlint: no applicable fixes")
+		}
+		return
+	}
+
+	if cacheable && cacheKey != "" {
+		// Best-effort: a failed write just means a cold run next time.
+		_ = cache.Put(root, cacheKey, diags)
+	}
+	emit(diags, *quiet, *jsonOut)
+}
+
+// emit prints the findings and exits non-zero when there are any.
+func emit(diags []analyze.Diagnostic, quiet, jsonOut bool) {
+	if jsonOut {
+		type jsonDiag struct {
+			Check   string `json:"check"`
+			File    string `json:"file"`
+			Line    int    `json:"line"`
+			Column  int    `json:"column"`
+			Message string `json:"message"`
+		}
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				Check: d.Check, File: relPath(d.Position.Filename),
+				Line: d.Position.Line, Column: d.Position.Column, Message: d.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			log.Fatal(err)
+		}
+		if len(diags) > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 	for _, d := range diags {
-		if !*quiet {
+		if !quiet {
 			fmt.Printf("%s:%d:%d: [%s] %s\n", relPath(d.Position.Filename), d.Position.Line, d.Position.Column, d.Check, d.Message)
 		}
 	}
@@ -77,6 +169,21 @@ func main() {
 		fmt.Printf("lvlint: %d finding(s)\n", len(diags))
 		os.Exit(1)
 	}
+}
+
+// wholeModule reports whether the patterns cover the entire module
+// (the only shape the cache serves).
+func wholeModule(args []string) bool {
+	return len(args) == 1 && (args[0] == "./..." || args[0] == "...")
+}
+
+func fsetOf(pkgs []*analyze.Package) *token.FileSet {
+	for _, p := range pkgs {
+		if p.Fset != nil {
+			return p.Fset
+		}
+	}
+	return nil
 }
 
 // moduleRoot walks up from the working directory to the nearest go.mod.

@@ -8,12 +8,17 @@
 // panic-free library code.
 //
 // A check is an Analyzer; the driver loads every package of the module
-// (loader.go), runs each analyzer once per package, and filters the
-// resulting diagnostics through //lvlint:ignore suppression comments.
-// cmd/lvlint is the CLI front end.
+// (loader.go), optionally runs each analyzer's module-wide Prepare step
+// (interprocedural summaries live there), runs each analyzer once per
+// package — packages in parallel on an internal/engine pool, results
+// merged in package order so output is identical at any worker count —
+// and filters the resulting diagnostics through //lvlint:ignore
+// suppression comments. Flow-sensitive checks build on the CFG/dataflow
+// framework in the flow subpackage. cmd/lvlint is the CLI front end.
 package analyze
 
 import (
+	"context"
 	"fmt"
 	"go/ast"
 	"go/token"
@@ -21,6 +26,9 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+
+	"repro/internal/analyze/flow"
+	"repro/internal/engine"
 )
 
 // Analyzer is one named check. Run inspects a single type-checked
@@ -31,8 +39,34 @@ type Analyzer struct {
 	Name string
 	// Doc is a one-line description shown by `lvlint -list`.
 	Doc string
+	// Prepare, if set, runs once per module before any Run, with every
+	// package loaded. Its return value is handed to each Pass as
+	// Shared; interprocedural analyses compute call summaries here.
+	// Runs are concurrent across packages, so Shared must be treated
+	// as read-only once Prepare returns.
+	Prepare func(*Module) any
 	// Run executes the check over one package.
 	Run func(*Pass)
+}
+
+// Module is the whole loaded module, handed to Analyzer.Prepare.
+type Module struct {
+	// Path is the module path ("repro").
+	Path string
+	// Pkgs are every loaded package, dependency-first.
+	Pkgs []*Package
+	// Fset positions all of them.
+	Fset *token.FileSet
+}
+
+// Sources adapts the loaded packages to the flow package's function
+// index input.
+func (m *Module) Sources() []*flow.Source {
+	out := make([]*flow.Source, 0, len(m.Pkgs))
+	for _, p := range m.Pkgs {
+		out = append(out, &flow.Source{Path: p.Path, Files: p.Files, Info: p.Info})
+	}
+	return out
 }
 
 // Pass carries one (analyzer, package) execution.
@@ -44,6 +78,9 @@ type Pass struct {
 	// Module is the module path ("repro"); analyzers use it to separate
 	// first-party enums and helpers from the standard library.
 	Module string
+	// Shared is the analyzer's Prepare result (nil without Prepare).
+	// Read-only: passes run concurrently.
+	Shared any
 
 	diags *[]Diagnostic
 }
@@ -59,18 +96,43 @@ func (p *Pass) TypesPkg() *types.Package { return p.Pkg.Types }
 
 // Reportf records a diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(pos, format, args...)
+}
+
+// report records a diagnostic and returns a pointer to it so the caller
+// can attach suggested fixes. The pointer is only valid until the next
+// report on the same pass.
+func (p *Pass) report(pos token.Pos, format string, args ...any) *Diagnostic {
 	*p.diags = append(*p.diags, Diagnostic{
 		Check:    p.Analyzer.Name,
 		Position: p.Fset.Position(pos),
 		Message:  fmt.Sprintf(format, args...),
 	})
+	return &(*p.diags)[len(*p.diags)-1]
+}
+
+// TextEdit is one byte-range replacement of a suggested fix. Pos/End
+// are token positions in the pass's FileSet.
+type TextEdit struct {
+	Pos, End token.Pos
+	NewText  string
+}
+
+// SuggestedFix is a mechanically safe rewrite attached to a diagnostic;
+// `lvlint -fix` applies them.
+type SuggestedFix struct {
+	Message string
+	Edits   []TextEdit
 }
 
 // Diagnostic is one finding.
 type Diagnostic struct {
-	Check    string
-	Position token.Position
-	Message  string
+	Check    string         `json:"check"`
+	Position token.Position `json:"position"`
+	Message  string         `json:"message"`
+	// Fixes are optional mechanical rewrites (not serialized; the
+	// positions are FileSet-relative and meaningless across runs).
+	Fixes []SuggestedFix `json:"-"`
 }
 
 func (d Diagnostic) String() string {
@@ -80,11 +142,14 @@ func (d Diagnostic) String() string {
 // All returns the full analyzer suite in stable order.
 func All() []*Analyzer {
 	return []*Analyzer{
-		Determinism,
+		Detflow,
 		UnitCheck,
+		UnitFlow,
 		Exhaustive,
 		ErrDrop,
 		LockGuard,
+		LockBalance,
+		DeferLoop,
 		NoPanic,
 	}
 }
@@ -120,17 +185,47 @@ func Names() []string {
 	return names
 }
 
-// Run executes the analyzers over the loaded packages, applies
-// //lvlint:ignore suppression, and returns the surviving diagnostics
-// sorted by position.
+// Run executes the analyzers over the loaded packages with a
+// GOMAXPROCS-wide pool, applies //lvlint:ignore suppression, and
+// returns the surviving diagnostics sorted by position.
 func Run(pkgs []*Package, analyzers []*Analyzer, module string) []Diagnostic {
+	return RunWorkers(pkgs, analyzers, module, 0)
+}
+
+// RunWorkers is Run with an explicit package-parallelism bound
+// (workers <= 0 selects GOMAXPROCS). Prepare steps run sequentially
+// up front; per-package passes fan out on an internal/engine pool and
+// merge by package index, so the diagnostic list is identical at any
+// worker count.
+func RunWorkers(pkgs []*Package, analyzers []*Analyzer, module string, workers int) []Diagnostic {
 	fset := fsetOf(pkgs)
-	var diags []Diagnostic
-	for _, pkg := range pkgs {
-		for _, a := range analyzers {
-			a.Run(&Pass{Analyzer: a, Fset: fset, Pkg: pkg, Module: module, diags: &diags})
+	mod := &Module{Path: module, Pkgs: pkgs, Fset: fset}
+	shared := make([]any, len(analyzers))
+	for i, a := range analyzers {
+		if a.Prepare != nil {
+			shared[i] = a.Prepare(mod)
 		}
 	}
+
+	pool := engine.New(workers)
+	perPkg, err := engine.Map(context.Background(), pool, len(pkgs), func(_ context.Context, i int) ([]Diagnostic, error) {
+		var diags []Diagnostic
+		for j, a := range analyzers {
+			a.Run(&Pass{Analyzer: a, Fset: fset, Pkg: pkgs[i], Module: module, Shared: shared[j], diags: &diags})
+		}
+		return diags, nil
+	})
+	if err != nil {
+		// Jobs never return errors; a panic inside an analyzer is a bug
+		// worth crashing on rather than silently losing findings.
+		//lvlint:ignore nopanic re-raising an analyzer panic contained by engine.Map
+		panic(err)
+	}
+	var diags []Diagnostic
+	for _, d := range perPkg {
+		diags = append(diags, d...)
+	}
+
 	diags = suppress(diags, pkgs, fset)
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]

@@ -1,7 +1,9 @@
 package analyze
 
 import (
+	"bytes"
 	"fmt"
+	"go/format"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -141,8 +143,8 @@ func TestUnitOf(t *testing.T) {
 
 // TestByName covers selection and the unknown-check error.
 func TestByName(t *testing.T) {
-	as, err := ByName("determinism, nopanic")
-	if err != nil || len(as) != 2 || as[0].Name != "determinism" || as[1].Name != "nopanic" {
+	as, err := ByName("detflow, nopanic")
+	if err != nil || len(as) != 2 || as[0].Name != "detflow" || as[1].Name != "nopanic" {
 		t.Fatalf("ByName: %v, %v", as, err)
 	}
 	if _, err := ByName("nosuchcheck"); err == nil {
@@ -211,12 +213,75 @@ func f() {
 
 // Ensure the String form stays stable for CLI output.
 func TestDiagnosticString(t *testing.T) {
-	d := Diagnostic{Check: "determinism", Message: "m"}
+	d := Diagnostic{Check: "detflow", Message: "m"}
 	d.Position.Filename = "f.go"
 	d.Position.Line = 3
 	d.Position.Column = 7
-	if got, want := d.String(), "f.go:3:7: [determinism] m"; got != want {
+	if got, want := d.String(), "f.go:3:7: [detflow] m"; got != want {
 		t.Fatalf("String() = %q, want %q", got, want)
 	}
 	_ = fmt.Sprintf("%v", d)
+}
+
+// TestFixRoundTrip applies every suggested fix in the fixapply fixture
+// and verifies the result: zero findings on re-analysis, and output
+// that gofmt leaves unchanged.
+func TestFixRoundTrip(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("testdata", "fixapply", "a", "a.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "a.go")
+	if err := os.WriteFile(path, src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	loader := NewLoader("test")
+	pkgs, err := loader.LoadTree(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := Run(pkgs, []*Analyzer{Detflow}, "test")
+	if len(diags) == 0 {
+		t.Fatal("fixapply fixture produced no findings")
+	}
+	withFix := 0
+	for _, d := range diags {
+		withFix += len(d.Fixes)
+	}
+	if withFix == 0 {
+		t.Fatal("fixapply findings carry no suggested fixes")
+	}
+
+	fixed, err := ApplyFixes(loader.Fset, diags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, ok := fixed[path]
+	if !ok {
+		t.Fatalf("ApplyFixes touched %d files, none of them %s", len(fixed), path)
+	}
+	formatted, err := format.Source(data)
+	if err != nil {
+		t.Fatalf("fixed source does not format: %v", err)
+	}
+	if !bytes.Equal(formatted, data) {
+		t.Errorf("fixed source is not gofmt-stable:\n%s", data)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	loader2 := NewLoader("test")
+	pkgs2, err := loader2.LoadTree(dir)
+	if err != nil {
+		t.Fatalf("fixed source does not load: %v\n%s", err, data)
+	}
+	if after := Run(pkgs2, []*Analyzer{Detflow}, "test"); len(after) != 0 {
+		t.Errorf("findings survive -fix:\n%s", data)
+		for _, d := range after {
+			t.Errorf("  %s", d)
+		}
+	}
 }

@@ -11,6 +11,13 @@ import (
 // visible discard and allowed. fmt's printers and the in-memory
 // strings.Builder / bytes.Buffer writers (whose errors are vacuous) are
 // exempt, as is (*tabwriter.Writer).Flush on best-effort CLI tables.
+//
+// `defer f.Close()` on an *os.File gets origin-aware messages: when f
+// was opened for writing (os.Create, os.OpenFile) the deferred Close
+// swallows the final flush error — the write looks durable but isn't —
+// so the finding says to close explicitly on the success path. A
+// read-only file's Close error is inconsequential; that finding exists
+// only so the author acknowledges it with an //lvlint:ignore + reason.
 var ErrDrop = &Analyzer{
 	Name: "errdrop",
 	Doc:  "discarded error returns outside tests",
@@ -19,26 +26,113 @@ var ErrDrop = &Analyzer{
 
 func runErrDrop(pass *Pass) {
 	info := pass.TypesInfo()
-	inspect(pass, func(n ast.Node) bool {
-		var call *ast.CallExpr
-		switch n := n.(type) {
-		case *ast.ExprStmt:
-			call, _ = n.X.(*ast.CallExpr)
-		case *ast.DeferStmt:
-			call = n.Call
-		case *ast.GoStmt:
-			call = n.Call
-		}
-		if call == nil {
+	for _, file := range pass.Files() {
+		origins := fileOrigins(info, file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			var call *ast.CallExpr
+			deferred := false
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				call, _ = n.X.(*ast.CallExpr)
+			case *ast.DeferStmt:
+				call = n.Call
+				deferred = true
+			case *ast.GoStmt:
+				call = n.Call
+			}
+			if call == nil {
+				return true
+			}
+			sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+			if !ok || !returnsError(sig) || exemptCall(info, call) {
+				return true
+			}
+			if deferred {
+				if obj, ok := fileCloseRecv(info, call); ok {
+					switch origins[obj] {
+					case originWrite:
+						pass.Reportf(call.Pos(), "defer %s on a file opened for writing drops the final flush error — the write can silently be lost; close explicitly on the success path and check the error", calleeName(call))
+					default:
+						pass.Reportf(call.Pos(), "defer %s drops Close's error; for a read-only file this is usually fine — acknowledge with //lvlint:ignore errdrop <reason>", calleeName(call))
+					}
+					return true
+				}
+			}
+			pass.Reportf(call.Pos(), "%s returns an error that is silently dropped; handle it or discard with `_ =`", calleeName(call))
+			return true
+		})
+	}
+}
+
+// fileOrigin classifies how an *os.File variable was opened.
+type fileOrigin uint8
+
+const (
+	originUnknown fileOrigin = iota
+	originRead
+	originWrite
+)
+
+// fileOrigins scans a file for `f, err := os.Create/Open/OpenFile(...)`
+// assignments and records each file variable's opening mode.
+func fileOrigins(info *types.Info, file *ast.File) map[types.Object]fileOrigin {
+	out := map[types.Object]fileOrigin{}
+	ast.Inspect(file, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) == 0 {
 			return true
 		}
-		sig, ok := info.TypeOf(call.Fun).(*types.Signature)
-		if !ok || !returnsError(sig) || exemptCall(info, call) {
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
 			return true
 		}
-		pass.Reportf(call.Pos(), "%s returns an error that is silently dropped; handle it or discard with `_ =`", calleeName(call))
+		var origin fileOrigin
+		switch {
+		case pkgFunc(info, call, "os", "Create"), pkgFunc(info, call, "os", "OpenFile"):
+			origin = originWrite
+		case pkgFunc(info, call, "os", "Open"):
+			origin = originRead
+		default:
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok {
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			if obj != nil {
+				out[obj] = origin
+			}
+		}
 		return true
 	})
+	return out
+}
+
+// fileCloseRecv matches a `f.Close()` call on an *os.File and returns
+// f's object.
+func fileCloseRecv(info *types.Info, call *ast.CallExpr) (types.Object, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Close" {
+		return nil, false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return nil, false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil || typeString(recv.Type()) != "os.File" {
+		return nil, false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		return nil, false
+	}
+	return obj, true
 }
 
 var errorType = types.Universe.Lookup("error").Type()

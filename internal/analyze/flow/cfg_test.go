@@ -1,0 +1,372 @@
+package flow
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseBody parses `func f(...) { <src> }` and returns the body.
+func parseBody(t *testing.T, src string) (*token.FileSet, *ast.BlockStmt) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file := "package p\nfunc f(c, d bool, m map[string]int, xs []int) (out int) {\n" + src + "\n}\n"
+	f, err := parser.ParseFile(fset, "t.go", file, 0)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, file)
+	}
+	return fset, f.Decls[0].(*ast.FuncDecl).Body
+}
+
+// preds computes the predecessor lists the Graph doesn't store.
+func preds(g *Graph) map[*Block][]*Block {
+	out := map[*Block][]*Block{}
+	for _, b := range g.Blocks {
+		for _, s := range b.Succs {
+			out[s] = append(out[s], b)
+		}
+	}
+	return out
+}
+
+// blockOf finds the block whose nodes include a node of the given
+// source line.
+func blockOf(t *testing.T, fset *token.FileSet, g *Graph, line int) *Block {
+	t.Helper()
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if fset.Position(n.Pos()).Line == line {
+				return b
+			}
+		}
+	}
+	t.Fatalf("no block holds a node on line %d", line)
+	return nil
+}
+
+func hasEdge(from, to *Block) bool {
+	for _, s := range from.Succs {
+		if s == to {
+			return true
+		}
+	}
+	return false
+}
+
+func TestStraightLine(t *testing.T) {
+	_, body := parseBody(t, "x := 1\ny := x\n_ = y")
+	g := New(body)
+	if g.Entry == nil || g.Exit == nil {
+		t.Fatal("missing entry/exit")
+	}
+	if len(g.Entry.Nodes) != 3 {
+		t.Fatalf("straight-line code should share one block, got %d nodes in entry", len(g.Entry.Nodes))
+	}
+	if !hasEdge(g.Entry, g.Exit) {
+		t.Fatal("entry should flow to exit")
+	}
+}
+
+func TestIfElseJoin(t *testing.T) {
+	fset, body := parseBody(t, strings.Join([]string{
+		"x := 0",     // line 3
+		"if c {",     // line 4 (cond expr node)
+		"\tx = 1",    // line 5
+		"} else {",   //
+		"\tx = 2",    // line 7
+		"}",          //
+		"return x*2", // line 9
+	}, "\n"))
+	g := New(body)
+	cond := blockOf(t, fset, g, 4)
+	thenB := blockOf(t, fset, g, 5)
+	elseB := blockOf(t, fset, g, 7)
+	after := blockOf(t, fset, g, 9)
+	if !hasEdge(cond, thenB) || !hasEdge(cond, elseB) {
+		t.Fatal("condition must branch to both arms")
+	}
+	if !hasEdge(thenB, after) || !hasEdge(elseB, after) {
+		t.Fatal("both arms must join at the statement after the if")
+	}
+	if hasEdge(cond, after) {
+		t.Fatal("an if with an else has no fall-through edge")
+	}
+}
+
+func TestIfWithoutElseFallThrough(t *testing.T) {
+	fset, body := parseBody(t, "x := 0\nif c {\n\tx = 1\n}\nreturn x")
+	g := New(body)
+	cond := blockOf(t, fset, g, 4)
+	after := blockOf(t, fset, g, 7)
+	if !hasEdge(cond, after) {
+		t.Fatal("an if without else must fall through to the next statement")
+	}
+}
+
+// TestRangeHeaderOwnBlock is the regression test for the back-edge bug:
+// the range header must not share a block with the statements before
+// the loop, or the back edge replays them and loop-carried facts never
+// survive to the loop exit.
+func TestRangeHeaderOwnBlock(t *testing.T) {
+	fset, body := parseBody(t, strings.Join([]string{
+		"acc := 0",           // line 3
+		"for k := range m {", // line 4
+		"\tacc += len(k)",    // line 5
+		"}",
+		"return acc", // line 7
+	}, "\n"))
+	g := New(body)
+	pre := blockOf(t, fset, g, 3)
+	head := blockOf(t, fset, g, 4)
+	loop := blockOf(t, fset, g, 5)
+	after := blockOf(t, fset, g, 7)
+	if pre == head {
+		t.Fatal("range header shares a block with the pre-loop statement")
+	}
+	if len(head.Nodes) != 1 {
+		t.Fatalf("header block should hold only the RangeStmt, has %d nodes", len(head.Nodes))
+	}
+	if !hasEdge(pre, head) || !hasEdge(head, loop) || !hasEdge(loop, head) || !hasEdge(head, after) {
+		t.Fatal("range loop shape broken: want pre->head->body->head and head->after")
+	}
+	if !loop.InLoop {
+		t.Fatal("body block should be marked InLoop")
+	}
+	if after.InLoop {
+		t.Fatal("after block should not be marked InLoop")
+	}
+}
+
+func TestForLoopBreakContinue(t *testing.T) {
+	fset, body := parseBody(t, strings.Join([]string{
+		"x := 0",                   // line 3
+		"for i := 0; i < 9; i++ {", // line 4
+		"\tif c {",                 // line 5
+		"\t\tbreak",                // line 6
+		"\t}",
+		"\tif d {",     // line 8
+		"\t\tcontinue", // line 9
+		"\t}",
+		"\tx++", // line 11
+		"}",
+		"return x", // line 13
+	}, "\n"))
+	g := New(body)
+	brk := blockOf(t, fset, g, 6)
+	cont := blockOf(t, fset, g, 9)
+	after := blockOf(t, fset, g, 13)
+	if !hasEdge(brk, after) {
+		t.Fatal("break must edge to the statement after the loop")
+	}
+	// continue targets the post block (the one holding i++).
+	found := false
+	for _, s := range cont.Succs {
+		for _, n := range s.Nodes {
+			if _, ok := n.(*ast.IncDecStmt); ok {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("continue must edge to the loop's post statement")
+	}
+	if hasEdge(brk, g.Exit) || hasEdge(cont, g.Exit) {
+		t.Fatal("break/continue do not exit the function")
+	}
+}
+
+func TestReturnsAndExit(t *testing.T) {
+	fset, body := parseBody(t, "if c {\n\treturn 1\n}\nreturn 2")
+	g := New(body)
+	r1 := blockOf(t, fset, g, 4)
+	r2 := blockOf(t, fset, g, 6)
+	if !hasEdge(r1, g.Exit) || !hasEdge(r2, g.Exit) {
+		t.Fatal("return blocks must edge to exit")
+	}
+	rets := g.Returns()
+	if len(rets) != 2 {
+		t.Fatalf("Returns() = %d blocks, want 2", len(rets))
+	}
+}
+
+func TestPanicIsNotNormalReturn(t *testing.T) {
+	fset, body := parseBody(t, "if c {\n\tpanic(\"boom\")\n}\nreturn 1")
+	g := New(body)
+	pb := blockOf(t, fset, g, 4)
+	if !pb.Panics {
+		t.Fatal("panic block not marked Panics")
+	}
+	if !hasEdge(pb, g.Exit) {
+		t.Fatal("panic block still reaches exit (for lockbalance-style may-analyses to skip)")
+	}
+	for _, b := range g.Returns() {
+		if b == pb {
+			t.Fatal("Returns() must exclude panicking blocks")
+		}
+	}
+}
+
+func TestTerminalCallOption(t *testing.T) {
+	fset, body := parseBody(t, "if c {\n\texitNow()\n}\nreturn 1")
+	term := func(call *ast.CallExpr) bool {
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "exitNow"
+	}
+	g := New(body, WithTerminalCalls(term))
+	tb := blockOf(t, fset, g, 4)
+	if !tb.Panics {
+		t.Fatal("terminal call block not marked Panics")
+	}
+	if len(g.Returns()) != 1 {
+		t.Fatalf("Returns() = %d, want only the real return", len(g.Returns()))
+	}
+}
+
+func TestDefersCollectedShallow(t *testing.T) {
+	_, body := parseBody(t, strings.Join([]string{
+		"defer println(1)",
+		"g := func() {",
+		"\tdefer println(2)", // belongs to the literal, not to f
+		"}",
+		"g()",
+	}, "\n"))
+	g := New(body)
+	if len(g.Defers) != 1 {
+		t.Fatalf("Defers = %d, want 1 (the literal's defer is its own graph's)", len(g.Defers))
+	}
+}
+
+func TestFuncLitBodyExcluded(t *testing.T) {
+	fset, body := parseBody(t, strings.Join([]string{
+		"h := func() int {", // line 3
+		"\treturn 42",       // line 4: must not appear in f's graph
+		"}",
+		"return h()", // line 6
+	}, "\n"))
+	g := New(body)
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.ReturnStmt); ok && fset.Position(n.Pos()).Line == 4 {
+				t.Fatal("statement inside a FuncLit leaked into the enclosing graph")
+			}
+		}
+	}
+	if len(g.Returns()) != 1 {
+		t.Fatalf("Returns() = %d, want 1", len(g.Returns()))
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	fset, body := parseBody(t, strings.Join([]string{
+		"x := 0",
+		"switch {",
+		"case c:", // line 5
+		"\tx = 1", // line 6
+		"\tfallthrough",
+		"case d:", // line 8
+		"\tx = 2", // line 9
+		"}",
+		"return x", // line 11
+	}, "\n"))
+	g := New(body)
+	c1 := blockOf(t, fset, g, 6)
+	c2 := blockOf(t, fset, g, 9)
+	after := blockOf(t, fset, g, 11)
+	if !hasEdge(c1, c2) {
+		t.Fatal("fallthrough must edge into the next clause body")
+	}
+	if hasEdge(c1, after) {
+		t.Fatal("a clause ending in fallthrough does not jump to after")
+	}
+	if !hasEdge(c2, after) {
+		t.Fatal("final clause must flow to after")
+	}
+}
+
+func TestSwitchWithoutDefaultHasSkipEdge(t *testing.T) {
+	fset, body := parseBody(t, "x := 0\nswitch {\ncase c:\n\tx = 1\n}\nreturn x")
+	g := New(body)
+	tag := blockOf(t, fset, g, 3)
+	after := blockOf(t, fset, g, 8)
+	if !hasEdge(tag, after) {
+		t.Fatal("a switch without default can execute no clause; tag needs an edge to after")
+	}
+}
+
+func TestLabeledBreak(t *testing.T) {
+	fset, body := parseBody(t, strings.Join([]string{
+		"x := 0",
+		"outer:",
+		"for i := 0; i < 3; i++ {",
+		"\tfor j := 0; j < 3; j++ {",
+		"\t\tif c {",
+		"\t\t\tbreak outer", // line 8
+		"\t\t}",
+		"\t\tx++",
+		"\t}",
+		"}",
+		"return x", // line 13
+	}, "\n"))
+	g := New(body)
+	brk := blockOf(t, fset, g, 8)
+	after := blockOf(t, fset, g, 13)
+	if !hasEdge(brk, after) {
+		t.Fatal("labeled break must edge past the outer loop")
+	}
+}
+
+func TestNilBodyAndEmptyBody(t *testing.T) {
+	g := New(nil)
+	if g.Entry == nil || g.Exit == nil {
+		t.Fatal("nil body still needs entry/exit")
+	}
+	_, body := parseBody(t, "")
+	g = New(body)
+	if !hasEdge(g.Entry, g.Exit) && g.Entry != g.Exit {
+		// An empty body falls off the end: entry must reach exit.
+		t.Fatal("empty body: entry must reach exit")
+	}
+}
+
+func TestEveryEdgeTargetIsRegistered(t *testing.T) {
+	// Guards against the pre-allocated post/after blocks being wired
+	// into edges but never adopted into g.Blocks.
+	_, body := parseBody(t, strings.Join([]string{
+		"for i := 0; i < 3; i++ {",
+		"\tfor k := range m {",
+		"\t\tif c {",
+		"\t\t\tcontinue",
+		"\t\t}",
+		"\t\t_ = k",
+		"\t}",
+		"\tif d {",
+		"\t\tbreak",
+		"\t}",
+		"}",
+		"switch {",
+		"case c:",
+		"}",
+		"return 0",
+	}, "\n"))
+	g := New(body)
+	known := map[*Block]bool{}
+	for _, b := range g.Blocks {
+		known[b] = true
+	}
+	seen := map[int]bool{}
+	for _, b := range g.Blocks {
+		if seen[b.Index] {
+			t.Fatalf("duplicate block index %d", b.Index)
+		}
+		seen[b.Index] = true
+		for _, s := range b.Succs {
+			if !known[s] {
+				t.Fatalf("block %d has an edge to an unregistered block", b.Index)
+			}
+		}
+	}
+	// And predecessors resolve, i.e. the graph is internally closed.
+	_ = preds(g)
+}

@@ -2,22 +2,43 @@ package analyze
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"regexp"
+	"sort"
 	"strings"
+
+	"repro/internal/analyze/flow"
 )
 
-// LockGuard enforces the `// guarded by <mu>` field convention: every
-// read or write of a struct field so documented must happen inside a
-// function that locks that mutex (calls <x>.<mu>.Lock or .RLock,
-// directly or deferred) or whose name ends in "Locked" (the caller-
-// holds-the-lock convention). The check is a per-package heuristic — it
-// does not chase interprocedural lock ownership — but it catches the
-// common regression of a new accessor forgetting the registry lock.
+// LockGuard enforces the `// guarded by <mu>` field convention with a
+// flow-sensitive must-hold lockset: every read or write of a documented
+// field must happen at a program point where that mutex is held on
+// every path — Lock/RLock adds to the lockset, Unlock/RUnlock removes,
+// a deferred Unlock keeps the lock held to function exit, and branch
+// joins intersect (must semantics). Reads are legal under RLock or
+// Lock; writes require the exclusive Lock. Functions whose name ends in
+// "Locked" follow the caller-holds-the-lock convention and are skipped;
+// conversely, calling a *Locked function while holding nothing is its
+// own finding.
+//
+// This replaces the v1 heuristic ("the function locks the mutex
+// somewhere in its body"), which missed accesses before the Lock, after
+// an early-return Unlock, and on branches that never lock.
 var LockGuard = &Analyzer{
 	Name: "lockguard",
-	Doc:  "fields documented `// guarded by mu` are only touched under that mutex",
+	Doc:  "fields documented `// guarded by mu` are only touched while that mutex is held (flow-sensitive)",
 	Run:  runLockGuard,
+}
+
+// LockBalance reports functions that can return with a mutex still
+// held: a may-hold analysis over the same CFG, minus locks released by
+// a deferred Unlock. Panic exits are excluded — leaking a lock while
+// crashing is the recover path's business.
+var LockBalance = &Analyzer{
+	Name: "lockbalance",
+	Doc:  "no return path leaves a mutex locked without a deferred unlock",
+	Run:  runLockBalance,
 }
 
 var guardedByRe = regexp.MustCompile(`guarded by (\w+)`)
@@ -26,6 +47,142 @@ var guardedByRe = regexp.MustCompile(`guarded by (\w+)`)
 type guardedField struct {
 	obj *types.Var // the field object
 	mu  string     // the guarding mutex's name
+}
+
+// lockset maps a canonical mutex expression ("m.mu", "customMu") to the
+// strongest mode held: lockShared (RLock) or lockExcl (Lock).
+type lockset map[string]uint8
+
+const (
+	lockShared uint8 = 1
+	lockExcl   uint8 = 2
+)
+
+func copyLockset(ls lockset) lockset {
+	out := make(lockset, len(ls))
+	for k, v := range ls {
+		out[k] = v
+	}
+	return out
+}
+
+func locksetEqual(a, b lockset) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// mustLattice intersects at joins: a lock is held only if every path
+// holds it, at the weaker of the two modes.
+var mustLattice = flow.Lattice[lockset]{
+	Init: func() lockset { return lockset{} },
+	Join: func(a, b lockset) lockset {
+		out := lockset{}
+		for k, v := range a {
+			if w, ok := b[k]; ok {
+				out[k] = min(v, w)
+			}
+		}
+		return out
+	},
+	Equal: locksetEqual,
+}
+
+// mayLattice unions at joins: a lock may be held if any path holds it.
+var mayLattice = flow.Lattice[lockset]{
+	Init: func() lockset { return lockset{} },
+	Join: func(a, b lockset) lockset {
+		out := copyLockset(a)
+		for k, v := range b {
+			out[k] = max(out[k], v)
+		}
+		return out
+	},
+	Equal: locksetEqual,
+}
+
+// lockOp classifies a call as a sync mutex operation, resolving the
+// method through go/types so only sync.Mutex/RWMutex (incl. embedded)
+// qualify, and returns the canonical key of the lock expression.
+func lockOp(info *types.Info, call *ast.CallExpr) (key, op string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	key = exprKey(sel.X)
+	if key == "" {
+		return "", ""
+	}
+	return key, sel.Sel.Name
+}
+
+// exprKey renders an ident/selector chain ("m.mu") as a canonical
+// string; anything with calls or indexing yields "".
+func exprKey(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := exprKey(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return exprKey(e.X)
+	}
+	return ""
+}
+
+// lockTransfer applies one CFG node's mutex operations to a lockset
+// (shared by the must- and may-analyses; only the join differs).
+func lockTransfer(info *types.Info, n ast.Node, ls lockset) {
+	es, ok := n.(*ast.ExprStmt)
+	if !ok {
+		return
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	key, op := lockOp(info, call)
+	switch op {
+	case "Lock":
+		ls[key] = lockExcl
+	case "RLock":
+		ls[key] = max(ls[key], lockShared)
+	case "Unlock", "RUnlock":
+		delete(ls, key)
+	}
+}
+
+// holds reports whether any held lock matches the guard name mu (the
+// comment names the bare field, the lockset holds the full chain).
+func holds(ls lockset, mu string, needExcl bool) bool {
+	for k, mode := range ls {
+		if k != mu && !strings.HasSuffix(k, "."+mu) {
+			continue
+		}
+		if !needExcl || mode == lockExcl {
+			return true
+		}
+	}
+	return false
 }
 
 func runLockGuard(pass *Pass) {
@@ -48,30 +205,210 @@ func runLockGuard(pass *Pass) {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			locked := locksIn(fd.Body)
-			nameLocked := strings.HasSuffix(fd.Name.Name, "Locked")
-			// Composite-literal keys resolve to field objects too but
-			// initialize a brand-new value no other goroutine can see.
-			litKeys := compositeLitKeys(fd.Body)
-			// A selector's .Sel is itself an *ast.Ident, so one ident
-			// walk covers both field selectors and package-level vars.
-			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				id, ok := n.(*ast.Ident)
-				if !ok {
-					return true
-				}
-				g, ok := isGuarded(info.Uses[id])
-				if !ok {
-					return true
-				}
-				if nameLocked || locked[g.mu] || litKeys[id] {
-					return true
-				}
-				pass.Reportf(id.Pos(), "access to %s (guarded by %s) in %s, which never locks %s",
-					id.Name, g.mu, fd.Name.Name, g.mu)
-				return true
-			})
+			// Caller-holds-the-lock convention: the whole function body
+			// (including its literals) runs under the caller's lock.
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				continue
+			}
+			for _, body := range flow.BodiesOf(fd) {
+				checkLockGuard(pass, info, fd, body.Block, isGuarded)
+			}
 		}
+	}
+}
+
+func checkLockGuard(pass *Pass, info *types.Info, fd *ast.FuncDecl, block *ast.BlockStmt, isGuarded func(types.Object) (guardedField, bool)) {
+	g := flow.New(block)
+	sol := flow.Solve(g, mustLattice, func(b *flow.Block, in lockset) lockset {
+		out := copyLockset(in)
+		for _, n := range b.Nodes {
+			lockTransfer(info, n, out)
+		}
+		return out
+	})
+
+	writes := writeTargets(block)
+	litKeys := compositeLitKeys(block)
+	for _, b := range g.Blocks {
+		if !sol.Reached[b.Index] {
+			continue
+		}
+		ls := copyLockset(sol.In[b.Index])
+		for _, n := range b.Nodes {
+			for _, part := range shallowParts(n) {
+				flow.InspectShallow(part, func(m ast.Node) bool {
+					switch m := m.(type) {
+					case *ast.Ident:
+						gf, ok := isGuarded(info.Uses[m])
+						if !ok || litKeys[m] {
+							return true
+						}
+						isWrite := writes[m]
+						if holds(ls, gf.mu, isWrite) {
+							return true
+						}
+						if isWrite && holds(ls, gf.mu, false) {
+							pass.Reportf(m.Pos(), "write to %s (guarded by %s) under RLock in %s; writes need the exclusive Lock",
+								m.Name, gf.mu, fd.Name.Name)
+							return true
+						}
+						pass.Reportf(m.Pos(), "access to %s (guarded by %s) in %s at a point where %s is not held",
+							m.Name, gf.mu, fd.Name.Name, gf.mu)
+					case *ast.CallExpr:
+						checkLockedCallee(pass, info, m, ls)
+					}
+					return true
+				})
+			}
+			lockTransfer(info, n, ls)
+		}
+	}
+}
+
+// checkLockedCallee flags calls to module functions named *Locked —
+// which by convention expect the caller to hold a lock — made while the
+// must-hold lockset is empty.
+func checkLockedCallee(pass *Pass, info *types.Info, call *ast.CallExpr, ls lockset) {
+	if len(ls) > 0 {
+		return
+	}
+	fn := flow.Callee(info, call)
+	if fn == nil || fn.Pkg() == nil || !strings.HasSuffix(fn.Name(), "Locked") {
+		return
+	}
+	if fn.Pkg().Path() != pass.Module && !strings.HasPrefix(fn.Pkg().Path(), pass.Module+"/") {
+		return
+	}
+	pass.Reportf(call.Pos(), "call to %s, which expects the caller to hold a lock, but no lock is held here", fn.Name())
+}
+
+// shallowParts returns the sub-nodes of a CFG node that belong to the
+// node's own program point. A RangeStmt header node carries its whole
+// body in the AST, but those statements live in other blocks — only the
+// range expression and bindings are local.
+func shallowParts(n ast.Node) []ast.Node {
+	if r, ok := n.(*ast.RangeStmt); ok {
+		var out []ast.Node
+		for _, e := range []ast.Expr{r.Key, r.Value, r.X} {
+			if e != nil {
+				out = append(out, e)
+			}
+		}
+		return out
+	}
+	return []ast.Node{n}
+}
+
+// writeTargets collects the identifiers written by assignments,
+// IncDec statements and delete calls within block (not descending into
+// function literals — each is checked as its own body).
+func writeTargets(block *ast.BlockStmt) map[*ast.Ident]bool {
+	writes := map[*ast.Ident]bool{}
+	mark := func(e ast.Expr) {
+		if id := targetIdent(e); id != nil {
+			writes[id] = true
+		}
+	}
+	flow.InspectShallow(block, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				mark(lhs)
+			}
+		case *ast.IncDecStmt:
+			mark(n.X)
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "delete" && len(n.Args) > 0 {
+				mark(n.Args[0])
+			}
+		}
+		return true
+	})
+	return writes
+}
+
+// targetIdent digs the field/variable identifier out of a write target.
+func targetIdent(e ast.Expr) *ast.Ident {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e
+	case *ast.SelectorExpr:
+		return e.Sel
+	case *ast.IndexExpr:
+		return targetIdent(e.X)
+	case *ast.StarExpr:
+		return targetIdent(e.X)
+	}
+	return nil
+}
+
+func runLockBalance(pass *Pass) {
+	info := pass.TypesInfo()
+	for _, f := range pass.Files() {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			for _, body := range flow.BodiesOf(fd) {
+				checkLockBalance(pass, info, fd, body.Block)
+			}
+		}
+	}
+}
+
+func checkLockBalance(pass *Pass, info *types.Info, fd *ast.FuncDecl, block *ast.BlockStmt) {
+	g := flow.New(block)
+	sol := flow.Solve(g, mayLattice, func(b *flow.Block, in lockset) lockset {
+		out := copyLockset(in)
+		for _, n := range b.Nodes {
+			lockTransfer(info, n, out)
+		}
+		return out
+	})
+
+	// Locks with a deferred release anywhere in the function are held
+	// to exit by design.
+	deferred := map[string]bool{}
+	for _, d := range g.Defers {
+		ast.Inspect(d, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if key, op := lockOp(info, call); op == "Unlock" || op == "RUnlock" {
+				deferred[key] = true
+			}
+			return true
+		})
+	}
+
+	leaked := map[string]token.Pos{}
+	for _, b := range g.Returns() {
+		if !sol.Reached[b.Index] {
+			continue
+		}
+		pos := block.Rbrace
+		if len(b.Nodes) > 0 {
+			pos = b.Nodes[len(b.Nodes)-1].Pos()
+		}
+		for key := range sol.Out[b.Index] {
+			if deferred[key] {
+				continue
+			}
+			if old, ok := leaked[key]; !ok || pos < old {
+				leaked[key] = pos
+			}
+		}
+	}
+	keys := make([]string, 0, len(leaked))
+	for k := range leaked {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, key := range keys {
+		pass.Reportf(leaked[key], "%s can still be locked when %s returns; release it on every path or defer the unlock",
+			key, fd.Name.Name)
 	}
 }
 
@@ -137,33 +474,9 @@ func collectGuardedFields(pass *Pass, info *types.Info) []guardedField {
 	return out
 }
 
-// locksIn returns the set of mutex names the body locks: any call of
-// the form <expr>.<mu>.Lock(), <expr>.<mu>.RLock(), mu.Lock() or
-// mu.RLock(), plain or deferred.
-func locksIn(body *ast.BlockStmt) map[string]bool {
-	locked := map[string]bool{}
-	ast.Inspect(body, func(n ast.Node) bool {
-		call, ok := n.(*ast.CallExpr)
-		if !ok {
-			return true
-		}
-		sel, ok := call.Fun.(*ast.SelectorExpr)
-		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
-			return true
-		}
-		switch x := sel.X.(type) {
-		case *ast.Ident:
-			locked[x.Name] = true
-		case *ast.SelectorExpr:
-			locked[x.Sel.Name] = true
-		}
-		return true
-	})
-	return locked
-}
-
 // compositeLitKeys collects the key identifiers of struct composite
-// literals, which the type checker records as field uses.
+// literals, which the type checker records as field uses but which
+// initialize a brand-new value no other goroutine can see.
 func compositeLitKeys(body *ast.BlockStmt) map[*ast.Ident]bool {
 	keys := map[*ast.Ident]bool{}
 	ast.Inspect(body, func(n ast.Node) bool {

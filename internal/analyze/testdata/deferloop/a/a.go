@@ -1,0 +1,56 @@
+package a
+
+import "os"
+
+// Bad: the deferred closes pile up until the function returns — a long
+// trace list exhausts descriptors mid-loop.
+func Sizes(paths []string) []int64 {
+	var out []int64
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			continue
+		}
+		defer f.Close() // want "defer inside a loop"
+		if st, err := f.Stat(); err == nil {
+			out = append(out, st.Size())
+		}
+	}
+	return out
+}
+
+// Good: the closure bounds each defer to one iteration.
+func SizesScoped(paths []string) []int64 {
+	var out []int64
+	for _, p := range paths {
+		func() {
+			f, err := os.Open(p)
+			if err != nil {
+				return
+			}
+			defer f.Close()
+			if st, err := f.Stat(); err == nil {
+				out = append(out, st.Size())
+			}
+		}()
+	}
+	return out
+}
+
+// Good: a defer before the loop is the normal idiom.
+func Count(path string) int {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	n := 0
+	buf := make([]byte, 4096)
+	for {
+		m, err := f.Read(buf)
+		n += m
+		if err != nil {
+			return n
+		}
+	}
+}

@@ -17,14 +17,16 @@ func DrawSeeded(seed int64) int {
 	return r.Intn(10)
 }
 
-// Bad: printing while ranging a map permutes output between runs.
+// Bad: printing while ranging a map permutes output between runs. The
+// taint is on the loop variables, so the finding lands on the print.
 func PrintTable(m map[string]int) {
-	for k, v := range m { // want "map iteration order"
-		fmt.Println(k, v)
+	for k, v := range m {
+		fmt.Println(k, v) // want "map iteration order"
 	}
 }
 
-// Good: collect, sort, then print.
+// Good: collect, sort, then print — sort.Strings launders the order
+// taint away.
 func PrintSorted(m map[string]int) {
 	keys := make([]string, 0, len(m))
 	for k := range m {
@@ -36,8 +38,18 @@ func PrintSorted(m map[string]int) {
 	}
 }
 
+// Good: folding map values with a commutative integer reduction is
+// order-independent; the sum must not be flagged.
+func Total(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
 // Suppressed finding: the ignore comment shields the next line.
 func DrawQuiet() int {
-	//lvlint:ignore determinism fixture exercising the suppression path
+	//lvlint:ignore detflow fixture exercising the suppression path
 	return rand.Intn(10)
 }

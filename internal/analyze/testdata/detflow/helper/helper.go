@@ -1,0 +1,50 @@
+// Package helper holds the true positives the old syntactic
+// determinism check could not see: nondeterminism laundered through a
+// helper function and observed only in the caller.
+package helper
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// keysOf launders map iteration order through a return value. There is
+// no print here, so a per-function syntactic check sees nothing wrong.
+func keysOf(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// PrintAll never ranges a map itself, yet its output permutes between
+// runs: the slice from keysOf carries the iteration order.
+func PrintAll(m map[string]int) {
+	for _, k := range keysOf(m) {
+		fmt.Println(k) // want "map iteration order"
+	}
+}
+
+// PrintAllSorted launders the same slice through sort.Strings first;
+// the sanitizer clears the taint.
+func PrintAllSorted(m map[string]int) {
+	keys := keysOf(m)
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Println(k)
+	}
+}
+
+// jitter launders a global rand draw through a helper return. The call
+// site itself is flagged syntactically ...
+func jitter() int {
+	return rand.Intn(3) // want "global math/rand.Intn"
+}
+
+// ... and the laundered value is still tracked into the caller's
+// output, surviving integer arithmetic on the way.
+func Jittered(base int) {
+	fmt.Println(base + jitter()) // want "global math/rand draw"
+}

@@ -1,0 +1,57 @@
+package a
+
+import "os"
+
+// Bad: deferred Close on a write path — the final flush error
+// disappears and a short write is silent.
+func WriteOut(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // want "opened for writing"
+	_, err = f.Write(data)
+	return err
+}
+
+// Read-only: still reported, with the softer message pointing at the
+// acknowledgement idiom.
+func ReadBack(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close() // want "read-only file"
+	buf := make([]byte, 16)
+	n, err := f.Read(buf)
+	if err != nil {
+		return nil, err
+	}
+	return buf[:n], nil
+}
+
+// Good: the acknowledged read-only defer is suppressed.
+func ReadQuiet(path string) int {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0
+	}
+	//lvlint:ignore errdrop read-only close cannot lose data
+	defer f.Close()
+	buf := make([]byte, 16)
+	n, _ := f.Read(buf)
+	return n
+}
+
+// Good: explicit close on the success path with the error checked.
+func WriteChecked(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close() //lvlint:ignore errdrop already failing; the write error wins
+		return err
+	}
+	return f.Close()
+}

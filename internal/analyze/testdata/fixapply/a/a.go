@@ -1,0 +1,26 @@
+// Package a is the -fix round-trip fixture: every finding here carries
+// a mechanical rewrite, and applying them all leaves a package with
+// zero findings and stable gofmt output.
+package a
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Report prints a map in iteration order; the fix rewrites the range
+// to collect, sort, and index.
+func Report(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v)
+	}
+}
+
+// Pick mixes a seeded generator with the global one; the fix threads
+// the in-scope generator through the stray call.
+func Pick(r *rand.Rand, n int) int {
+	if n <= 0 {
+		return r.Intn(1)
+	}
+	return rand.Intn(n)
+}

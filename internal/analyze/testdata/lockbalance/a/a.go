@@ -1,0 +1,53 @@
+package a
+
+import "sync"
+
+var mu sync.Mutex
+
+// Bad: the early return leaks the lock.
+func Leak(cond bool) int {
+	mu.Lock()
+	if cond {
+		return 1 // want "mu can still be locked"
+	}
+	mu.Unlock()
+	return 0
+}
+
+// Good: the deferred release covers every path, early returns
+// included.
+func Balanced(cond bool) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if cond {
+		return 1
+	}
+	return 0
+}
+
+// Good: every path releases explicitly.
+func Explicit(cond bool) int {
+	mu.Lock()
+	if cond {
+		mu.Unlock()
+		return 1
+	}
+	mu.Unlock()
+	return 0
+}
+
+type counter struct {
+	mu sync.RWMutex
+	n  int
+}
+
+// Bad: the reader path forgets RUnlock.
+func (c *counter) Peek(fast bool) int {
+	c.mu.RLock()
+	if fast {
+		return c.n // want "c.mu can still be locked"
+	}
+	v := c.n
+	c.mu.RUnlock()
+	return v
+}

@@ -11,7 +11,7 @@ type Registry struct {
 
 // Bad: reads the guarded field without the lock.
 func (r *Registry) Peek(name string) int {
-	return r.names[name] // want "never locks mu"
+	return r.names[name] // want "mu is not held"
 }
 
 // Good: locks.
@@ -26,6 +26,36 @@ func (r *Registry) getLocked(name string) int {
 	return r.names[name]
 }
 
+// Good: calls the Locked helper with the lock held.
+func (r *Registry) Sum(names []string) int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	total := 0
+	for _, n := range names {
+		total += r.getLocked(n)
+	}
+	return total
+}
+
+// Bad: calls the Locked helper without holding anything.
+func (r *Registry) Careless(name string) int {
+	return r.getLocked(name) // want "expects the caller to hold a lock"
+}
+
+// Mixed: the access before the early return is guarded, the one after
+// the explicit unlock is not. A path-insensitive check can't tell
+// these apart; the CFG analysis flags only the second.
+func (r *Registry) Find(name string) int {
+	r.mu.Lock()
+	if name == "" {
+		r.mu.Unlock()
+		return len(r.names) // want "mu is not held"
+	}
+	v := r.names[name] // good: still held on this path
+	r.mu.Unlock()
+	return v
+}
+
 // Good: composite literals initialize a value no other goroutine sees.
 func NewRegistry() *Registry {
 	return &Registry{names: map[string]int{}}
@@ -38,14 +68,29 @@ var (
 
 // Bad: package-level access without the lock.
 func Lookup(name string) int {
-	return table[name] // want "never locks tableMu"
+	return table[name] // want "tableMu is not held"
 }
 
-// Good.
+// Good: a read under the shared lock.
 func SafeLookup(name string) int {
 	tableMu.RLock()
 	defer tableMu.RUnlock()
 	return table[name]
+}
+
+// Bad: a write under the shared lock mutates what other readers are
+// traversing.
+func SetShared(name string, v int) {
+	tableMu.RLock()
+	table[name] = v // want "writes need the exclusive Lock"
+	tableMu.RUnlock()
+}
+
+// Good: writes take the exclusive lock.
+func Set(name string, v int) {
+	tableMu.Lock()
+	defer tableMu.Unlock()
+	table[name] = v
 }
 
 // Suppressed finding: the ignore comment shields the next line.

@@ -1,0 +1,58 @@
+// Package energy stands in for the physical-quantity packages: the
+// fixture path contains "internal/energy". Every finding here is
+// invisible to the syntactic unitcheck — no offending expression names
+// a unit; the units arrive through assignments and call summaries.
+package energy
+
+// workEstimate counts execution cycles for a batch of operations. The
+// function name carries no unit; only the flow summary knows the
+// result is cycles.
+func workEstimate(ops float64) float64 {
+	cycles := ops * 4
+	return cycles
+}
+
+// gateDelay returns an FO4 delay in picoseconds, again with a neutral
+// name so only the summary carries the unit.
+func gateDelay(fanout float64) float64 {
+	delayPS := fanout * 14.0
+	return delayPS
+}
+
+// decay smooths a window expressed in nanoseconds.
+func decay(windowNS float64) float64 {
+	return windowNS * 0.5
+}
+
+// Bad: adds a cycle count to a nanosecond latency. Neither local name
+// carries a unit suffix, so the mix is visible only through dataflow.
+func Elapsed(latencyNS float64, ops float64) float64 {
+	t := latencyNS
+	c := workEstimate(ops)
+	return t + c // want "in the same sum"
+}
+
+// Bad: a picosecond delay lands in a variable named like nanoseconds.
+func Mislabeled(fanout float64) float64 {
+	latencyNS := gateDelay(fanout) // want "unit mismatch via dataflow"
+	return latencyNS
+}
+
+// Bad: passes a picosecond value where the callee expects nanoseconds.
+func Decayed(fanout float64) float64 {
+	d := gateDelay(fanout)
+	return decay(d) // want "unit mismatch via dataflow"
+}
+
+// Good: both operands carry nanoseconds through locals.
+func Budget(aNS, bNS float64) float64 {
+	x := aNS
+	y := bNS
+	return x + y
+}
+
+// Bad: squaring a supply voltage — the model's energies come from
+// per-op pJ tables, never CV².
+func Overdrive(vddMV, biasMV float64) float64 {
+	return vddMV * biasMV // want "voltage squares"
+}

@@ -47,6 +47,8 @@ var unitSuffixes = []struct {
 	{"ns", unit{"time", "ns"}},
 	{"ps", unit{"time", "ps"}},
 	{"us", unit{"time", "us"}},
+	{"cycles", unit{"cycles", "cycles"}},
+	{"joules", unit{"energy", "J"}},
 }
 
 // unitOf extracts the unit carried by an identifier name, if any. A

@@ -38,8 +38,8 @@ type Engine struct {
 // selects GOMAXPROCS (the `-workers` flag default in every command).
 func NewEngine(workers int) *Engine {
 	return &Engine{
-		pool: engine.New(workers),
-		runs: engine.NewMemo[RunSpec, cpu.Result](),
+		pool:  engine.New(workers),
+		runs:  engine.NewMemo[RunSpec, cpu.Result](),
 		runFn: RunContext,
 	}
 }

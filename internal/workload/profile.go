@@ -169,6 +169,11 @@ func ByName(name string) (Profile, error) {
 		return p, nil
 	}
 	known := Names()
+	customMu.RLock()
+	for n := range custom {
+		known = append(known, n)
+	}
+	customMu.RUnlock()
 	sort.Strings(known)
 	return Profile{}, fmt.Errorf("workload: unknown benchmark %q (known: %v)", name, known)
 }

@@ -2,6 +2,9 @@ package workload
 
 import (
 	"math"
+	"regexp"
+	"sort"
+	"strings"
 	"testing"
 
 	"repro/internal/program"
@@ -55,6 +58,37 @@ func TestProfilesMatchFigure3Bands(t *testing.T) {
 func TestByNameUnknown(t *testing.T) {
 	if _, err := ByName("nonesuch"); err == nil {
 		t.Error("unknown benchmark must error")
+	}
+}
+
+// TestByNameErrorListsCustomProfiles: the "known benchmarks" list in
+// the error must include registered custom profiles, not just the
+// built-in suite, and stay deterministically sorted.
+func TestByNameErrorListsCustomProfiles(t *testing.T) {
+	p := profiles[0]
+	p.Name = "zz-custom-for-error-test"
+	if err := Register(p); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		customMu.Lock()
+		delete(custom, p.Name)
+		customMu.Unlock()
+	}()
+	_, err := ByName("nonesuch")
+	if err == nil {
+		t.Fatal("unknown benchmark must error")
+	}
+	if !strings.Contains(err.Error(), p.Name) {
+		t.Errorf("error omits the registered custom profile:\n%v", err)
+	}
+	names := regexp.MustCompile(`\[(.*)\]`).FindStringSubmatch(err.Error())
+	if names == nil {
+		t.Fatalf("error has no [known ...] list: %v", err)
+	}
+	list := strings.Fields(names[1])
+	if !sort.StringsAreSorted(list) {
+		t.Errorf("known-benchmark list is not sorted: %v", list)
 	}
 }
 

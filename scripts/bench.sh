@@ -66,3 +66,26 @@ go test -run '^$' -bench 'BenchmarkInjectRecovery|BenchmarkChaosCampaign' -bench
 	}
 ' >"$out"
 echo "bench: wrote $out"
+
+# Third pass: linter latency. Runs lvlint over the whole module twice —
+# once against an empty .lvlint-cache (cold: full parse + typecheck +
+# nine analyzers) and once against the cache the cold run just filled
+# (warm: one content-hash probe and a cached-JSON replay). The binary is
+# built once so both numbers measure analysis, not compilation.
+out=BENCH_lint.json
+lintbin=$(mktemp -t lvlint.XXXXXX)
+trap 'rm -f "$lintbin"' EXIT
+go build -o "$lintbin" ./cmd/lvlint
+
+now_ms() { date +%s%3N; }
+
+rm -rf .lvlint-cache
+t0=$(now_ms)
+"$lintbin" ./...
+t1=$(now_ms)
+"$lintbin" ./...
+t2=$(now_ms)
+
+printf '{\n  "lvlint_cold_ms": %s,\n  "lvlint_warm_ms": %s\n}\n' \
+	"$((t1 - t0))" "$((t2 - t1))" >"$out"
+echo "bench: wrote $out"

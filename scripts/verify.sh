@@ -3,8 +3,9 @@
 #
 #   build  — everything compiles, including examples and testdata-free cmds
 #   vet    — stdlib vet checks
-#   lvlint — the repo's own analyzers (determinism, unitcheck, exhaustive,
-#            errdrop, lockguard, nopanic); nonzero exit on any finding
+#   lvlint — the repo's own analyzers (detflow, unitcheck, unitflow,
+#            exhaustive, errdrop, lockguard, lockbalance, deferloop,
+#            nopanic); nonzero exit on any finding
 #   test   — full unit/integration suite
 #   race   — race detector on the packages with shared mutable state
 #            (the run scheduler, the simulator fan-out, the cache model
