@@ -443,9 +443,14 @@ func BenchmarkAblationLinkerFit(b *testing.B) {
 
 // BenchmarkInjectRecovery measures the detection/recovery tax on the
 // FFW+BBR run path: the same die and workload with the runtime fault
-// layer disabled versus injecting at intensity 5 at 400 mV. The ns/op
-// difference between the two sub-benchmarks is the recovery overhead
-// scripts/bench.sh records in BENCH_inject.json.
+// layer disabled versus injecting at intensity 5 at 400 mV. Each
+// sub-benchmark reports the simulated recovery time (RecoveryCycles at
+// the operating point's clock period) as recovery-ns; scripts/bench.sh
+// records the paired on-minus-off delta in BENCH_inject.json. Wall
+// clock is deliberately not used for the delta — the two runs differ
+// by milliseconds of OS noise, which used to drive the recorded
+// overhead negative, while the simulated cycle count is exact and
+// identical on every run of the same seeds.
 func BenchmarkInjectRecovery(b *testing.B) {
 	op := opAt(b, 400)
 	cases := []struct {
@@ -470,6 +475,7 @@ func BenchmarkInjectRecovery(b *testing.B) {
 				recovery = r.RecoveryCycles
 			}
 			b.ReportMetric(recovery, "recovery-cycles")
+			b.ReportMetric(recovery*op.Period(), "recovery-ns")
 		})
 	}
 }

@@ -89,7 +89,7 @@ func main() {
 	cache := analyze.OpenCache(root)
 	var cacheKey string
 	if cacheable {
-		if key, err := cache.Key(root, names); err == nil {
+		if key, err := cache.Key(root, names, analyze.AnalyzerVersion()); err == nil {
 			cacheKey = key
 			if diags, ok := cache.Get(root, key); ok {
 				emit(diags, *quiet, *jsonOut)

@@ -151,6 +151,11 @@ func All() []*Analyzer {
 		LockBalance,
 		DeferLoop,
 		NoPanic,
+		GoLeak,
+		CtxFlow,
+		ChanFlow,
+		WGBalance,
+		SharedCapture,
 	}
 }
 

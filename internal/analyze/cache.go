@@ -11,17 +11,56 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
-// cacheVersion invalidates every cached result when the analyzers'
-// semantics change. Bump on any behavioural change to a check.
-const cacheVersion = "lvlint-cache-v1"
+// cacheSchemaVersion invalidates every cached result when the cache
+// entry FORMAT changes (new fields, different serialization). Analyzer
+// semantics are covered separately by AnalyzerVersion, which needs no
+// manual bump.
+const cacheSchemaVersion = "lvlint-cache-v2"
+
+// AnalyzerVersion fingerprints the analyzer implementation actually
+// running: the hash of the lvlint executable itself. Editing any check
+// produces a different binary and therefore a different cache key, so
+// stale results can never survive an analyzer change — the schema
+// constant above only has to move when the on-disk format does. The
+// hash is computed once per process. If the executable cannot be read
+// (unusual embedded setups), a fixed fallback string keeps caching
+// functional and the schema version alone guards invalidation.
+func AnalyzerVersion() string {
+	analyzerVersionOnce.Do(func() {
+		analyzerVersion = "unhashed-binary"
+		exe, err := os.Executable()
+		if err != nil {
+			return
+		}
+		f, err := os.Open(exe)
+		if err != nil {
+			return
+		}
+		//lvlint:ignore errdrop read-only hash of our own executable; a Close error cannot corrupt anything
+		defer f.Close()
+		h := sha256.New()
+		if _, err := io.Copy(h, f); err != nil {
+			return
+		}
+		analyzerVersion = hex.EncodeToString(h.Sum(nil))
+	})
+	return analyzerVersion
+}
+
+var (
+	analyzerVersionOnce sync.Once
+	analyzerVersion     string
+)
 
 // Cache is the content-addressed lvlint result store under
-// <root>/.lvlint-cache/. The key hashes the tool version, the analyzer
-// selection, go.sum (when present) and every non-test Go file the
-// loader would see, so a warm run is exact: same inputs, same
-// diagnostics, no parsing or type checking. Suggested fixes are not
+// <root>/.lvlint-cache/. The key hashes the cache schema version, the
+// analyzer-implementation fingerprint, the analyzer selection, go.sum
+// (when present) and every non-test Go file the loader would see, so a
+// warm run is exact: same inputs, same analyzers, same diagnostics, no
+// parsing or type checking. Suggested fixes are not
 // cached (their positions die with the FileSet); -fix always runs
 // cold.
 type Cache struct {
@@ -34,10 +73,14 @@ func OpenCache(moduleRoot string) *Cache {
 }
 
 // Key computes the content hash for a run over the module at root with
-// the given analyzer names.
-func (c *Cache) Key(root string, analyzers []string) (string, error) {
+// the given analyzer names. analyzerVersion fingerprints the analyzer
+// implementation (see AnalyzerVersion); any change to a check yields a
+// fresh key, so edited analyzers re-analyze instead of replaying stale
+// results.
+func (c *Cache) Key(root string, analyzers []string, analyzerVersion string) (string, error) {
 	h := sha256.New()
-	_, _ = io.WriteString(h, cacheVersion+"\n")
+	_, _ = io.WriteString(h, cacheSchemaVersion+"\n")
+	_, _ = io.WriteString(h, analyzerVersion+"\n")
 	_, _ = io.WriteString(h, strings.Join(analyzers, ",")+"\n")
 	// go.sum pins dependency sources; absent (stdlib-only module) is a
 	// valid state and hashes as such.

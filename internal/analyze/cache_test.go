@@ -1,0 +1,96 @@
+package analyze
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// writeModule lays down a minimal module for cache-key hashing.
+func writeModule(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	files := map[string]string{
+		"go.mod":  "module cachetest\n\ngo 1.22\n",
+		"main.go": "package main\n\nfunc main() {}\n",
+	}
+	for name, src := range files {
+		if err := os.WriteFile(filepath.Join(root, name), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+// TestCacheKeyChangesWithAnalyzerVersion is the regression test for
+// stale-cache-after-analyzer-edit: an edited check ships as a new
+// binary with a new fingerprint, which must produce a new key so the
+// module is re-analyzed instead of replaying the old findings.
+func TestCacheKeyChangesWithAnalyzerVersion(t *testing.T) {
+	root := writeModule(t)
+	c := OpenCache(root)
+	names := []string{"detflow", "chanflow"}
+
+	k1, err := c.Key(root, names, "analyzer-build-A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1again, err := c.Key(root, names, "analyzer-build-A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 != k1again {
+		t.Fatalf("same inputs, same analyzer version: keys differ\n%s\n%s", k1, k1again)
+	}
+	k2, err := c.Key(root, names, "analyzer-build-B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 == k2 {
+		t.Fatalf("analyzer version changed but cache key did not: %s", k1)
+	}
+
+	// The stale entry under the old key must not be served for the new
+	// key: a Put under build A misses under build B's key.
+	if err := c.Put(root, k1, []Diagnostic{{Check: "detflow", Message: "old finding"}}); err != nil {
+		t.Fatal(err)
+	}
+	if diags, ok := c.Get(root, k1); !ok || len(diags) != 1 {
+		t.Fatalf("cached entry not served for its own key: ok=%v n=%d", ok, len(diags))
+	}
+	if _, ok := c.Get(root, k2); ok {
+		t.Fatal("stale entry served after analyzer version change")
+	}
+}
+
+// TestCacheKeyChangesWithSource double-checks the other invalidation
+// axis: editing module source under the same analyzer build re-keys.
+func TestCacheKeyChangesWithSource(t *testing.T) {
+	root := writeModule(t)
+	c := OpenCache(root)
+	names := []string{"detflow"}
+	k1, err := c.Key(root, names, "analyzer-build-A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "main.go"), []byte("package main\n\nfunc main() { _ = 1 }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	k2, err := c.Key(root, names, "analyzer-build-A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k1 == k2 {
+		t.Fatal("source changed but cache key did not")
+	}
+}
+
+// TestAnalyzerVersionStable pins the process-wide fingerprint: stable
+// within a process and never empty (the fallback string covers hosts
+// where the executable cannot be read).
+func TestAnalyzerVersionStable(t *testing.T) {
+	v1, v2 := AnalyzerVersion(), AnalyzerVersion()
+	if v1 == "" || v1 != v2 {
+		t.Fatalf("AnalyzerVersion not stable: %q vs %q", v1, v2)
+	}
+}

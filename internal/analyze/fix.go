@@ -11,6 +11,8 @@ import (
 	"os"
 	"sort"
 	"strings"
+
+	"repro/internal/analyze/flow"
 )
 
 // ApplyFixes gathers every suggested fix in diags, applies them to the
@@ -126,7 +128,7 @@ func sortedRangeFix(pass *Pass, rangePos token.Pos) (SuggestedFix, bool) {
 	if !ok || key.Name == "_" {
 		return SuggestedFix{}, false
 	}
-	if exprKey(rs.X) == "" { // calls/indexing: not safe to evaluate twice
+	if flow.ExprKey(rs.X) == "" { // calls/indexing: not safe to evaluate twice
 		return SuggestedFix{}, false
 	}
 	info := pass.TypesInfo()

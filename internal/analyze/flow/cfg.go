@@ -7,11 +7,21 @@
 // summaries.
 //
 // The design point is precision where the repo's invariants need it and
-// nothing more: branch/loop/switch/select edges, early returns, panic
+// nothing more: branch/loop/switch edges, early returns, panic
 // termination and defer collection are modeled exactly (they are what
 // the lockset and taint analyses hinge on); goto is treated as function
 // exit (the module does not use it, and the conservative edge keeps the
 // solver sound for must-analyses).
+//
+// Concurrency constructs are first-class. A select branches to exactly
+// one comm clause — there is no "skipped every case" edge like a
+// switch without default, and an empty select is a dead end (the path
+// parks forever, which is what ExitReachable and the goroutine-leak
+// analysis key on). go statements are collected on the Graph like
+// defers, channel sends are straight-line nodes the channel-state
+// analyses transfer over, and WithBlockingCalls lets an analysis mark
+// module calls that never return as dead ends too (the interprocedural
+// "loops forever" summary of the goleak check rides on it).
 package flow
 
 import (
@@ -57,6 +67,37 @@ type Graph struct {
 	// the defer; the analyses that care (lockguard's deferred Unlock,
 	// errdrop's deferred Close) consult this list.
 	Defers []*ast.DeferStmt
+	// Gos collects the function's go statements in source order — the
+	// spawn points the concurrency checks (goleak, sharedcapture)
+	// analyze. Each statement also appears as a node in its block, so
+	// flow-sensitive analyses see the spawn at its program point.
+	Gos []*ast.GoStmt
+}
+
+// ExitReachable reports whether any path from Entry reaches Exit —
+// false exactly when every execution of the body parks forever: an
+// unconditional loop with no break or return, an empty select, a
+// statement marked by WithBlockingCalls. Panic and terminal-call exits
+// count as reachable: a goroutine that crashes or exits the process
+// terminates, it does not leak.
+func (g *Graph) ExitReachable() bool {
+	seen := make([]bool, len(g.Blocks))
+	stack := []*Block{g.Entry}
+	seen[g.Entry.Index] = true
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if b == g.Exit {
+			return true
+		}
+		for _, s := range b.Succs {
+			if !seen[s.Index] {
+				seen[s.Index] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
 }
 
 // Returns reports the blocks with a normal edge into Exit (return
@@ -98,6 +139,11 @@ type builder struct {
 	// (os.Exit, log.Fatal, ...). Supplied by the analyzer so the
 	// decision can use type information.
 	isTerminal func(*ast.CallExpr) bool
+	// isBlocking reports whether a call expression parks forever (a
+	// module function whose own CFG cannot reach its exit). Such a
+	// statement ends its block as a dead end: no successors, not even
+	// Exit.
+	isBlocking func(*ast.CallExpr) bool
 }
 
 type frame struct {
@@ -114,6 +160,16 @@ type Option func(*builder)
 // callback runs on every *ast.CallExpr used as a statement.
 func WithTerminalCalls(fn func(*ast.CallExpr) bool) Option {
 	return func(b *builder) { b.isTerminal = fn }
+}
+
+// WithBlockingCalls marks call expressions that park forever (for
+// example a module function whose body is an unconditional loop with no
+// break or return). A statement calling one ends its block as a dead
+// end — no edge to Exit, unlike panic — so exit-reachability analyses
+// see the path as non-terminating. The callback runs on every
+// *ast.CallExpr used as a statement.
+func WithBlockingCalls(fn func(*ast.CallExpr) bool) Option {
+	return func(b *builder) { b.isBlocking = fn }
 }
 
 // New builds the CFG of one function body. A nil body (declaration
@@ -310,7 +366,7 @@ func (b *builder) stmt(s ast.Stmt) {
 		b.caseClauses(s.Body.List)
 
 	case *ast.SelectStmt:
-		b.caseClauses(s.Body.List)
+		b.selectStmt(s)
 
 	case *ast.LabeledStmt:
 		switch inner := s.Stmt.(type) {
@@ -352,23 +408,84 @@ func (b *builder) stmt(s ast.Stmt) {
 		b.g.Defers = append(b.g.Defers, s)
 		b.add(s)
 
+	case *ast.GoStmt:
+		// The spawn is a straight-line node for the spawner (the
+		// goroutine body runs concurrently, not here) and is collected
+		// on the graph for the concurrency checks.
+		b.g.Gos = append(b.g.Gos, s)
+		b.add(s)
+
+	case *ast.SendStmt:
+		// Straight-line node; the channel-state analyses transfer over
+		// it (send-after-close, send-on-nil).
+		b.add(s)
+
 	case *ast.ExprStmt:
 		b.add(s)
-		if call, ok := s.X.(*ast.CallExpr); ok && b.terminal(call) {
-			blk := b.block()
-			blk.Panics = true
-			b.edge(blk, b.g.Exit)
-			b.cur = nil
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			switch {
+			case b.terminal(call):
+				blk := b.block()
+				blk.Panics = true
+				b.edge(blk, b.g.Exit)
+				b.cur = nil
+			case b.isBlocking != nil && b.isBlocking(call):
+				// Parks forever: dead end, no exit edge.
+				b.block()
+				b.cur = nil
+			}
 		}
 
 	default:
-		// Assignments, declarations, sends, go statements, empty
-		// statements: straight-line nodes.
+		// Assignments, declarations, empty statements: straight-line
+		// nodes.
 		b.add(s)
 	}
 }
 
-// caseClauses builds the shared switch/select shape: the tag block
+// selectStmt builds a select. Unlike a switch, a select with cases
+// executes exactly one of them — it blocks until some comm is ready —
+// so there is no edge that skips every clause; a default clause is just
+// one more branch (taken when nothing is ready). A select with no
+// cases parks the goroutine forever: the block becomes a dead end with
+// no successors.
+func (b *builder) selectStmt(s *ast.SelectStmt) {
+	entry := b.block()
+	if len(s.Body.List) == 0 {
+		b.cur = nil
+		return
+	}
+	after := &Block{}
+	var ends []*Block
+	// A select is a bare-break target.
+	b.frames = append(b.frames, frame{cont: nil, brk: after})
+	for _, cs := range s.Body.List {
+		cc, ok := cs.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		body := b.newBlock()
+		b.edge(entry, body)
+		b.cur = body
+		if cc.Comm != nil {
+			// The comm operation (send or receive, possibly with
+			// bindings) executes first in its clause.
+			body.Nodes = append(body.Nodes, cc.Comm)
+		}
+		b.stmts(cc.Body)
+		ends = append(ends, b.cur)
+	}
+	b.popFrame()
+	b.adopt(after, b.inLoop > 0)
+	for _, end := range ends {
+		if end != nil {
+			b.edge(end, after)
+		}
+	}
+	b.cur = after
+}
+
+// caseClauses builds the switch/type-switch shape: the tag block
 // branches to every clause body; each body flows to the after block;
 // fallthrough flows to the next body.
 func (b *builder) caseClauses(clauses []ast.Stmt) {
@@ -376,30 +493,24 @@ func (b *builder) caseClauses(clauses []ast.Stmt) {
 	after := &Block{}
 	hasDefault := false
 	var bodies, ends []*Block
-	// A switch/select is a bare-break target.
+	// A switch is a bare-break target.
 	b.frames = append(b.frames, frame{cont: nil, brk: after})
 	for _, cs := range clauses {
+		cc, ok := cs.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
 		body := b.newBlock()
 		b.edge(tag, body)
 		bodies = append(bodies, body)
 		b.cur = body
-		switch cs := cs.(type) {
-		case *ast.CaseClause:
-			if cs.List == nil {
-				hasDefault = true
-			}
-			for _, e := range cs.List {
-				body.Nodes = append(body.Nodes, e)
-			}
-			b.stmts(cs.Body)
-		case *ast.CommClause:
-			if cs.Comm == nil {
-				hasDefault = true
-			} else {
-				body.Nodes = append(body.Nodes, cs.Comm)
-			}
-			b.stmts(cs.Body)
+		if cc.List == nil {
+			hasDefault = true
 		}
+		for _, e := range cc.List {
+			body.Nodes = append(body.Nodes, e)
+		}
+		b.stmts(cc.Body)
 		ends = append(ends, b.cur)
 	}
 	b.popFrame()

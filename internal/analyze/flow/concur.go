@@ -1,0 +1,178 @@
+package flow
+
+// Concurrency-facing helpers shared by the concflow check suite: a
+// classifier turning CFG nodes into channel operations, canonical
+// expression keys for naming channels and mutexes in lattice maps, and
+// resolvers for what a go statement actually runs.
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ChanOpKind says what a ChanOp does to its channel.
+type ChanOpKind int
+
+const (
+	// ChanMake creates the channel (a make(chan T, ...) call).
+	ChanMake ChanOpKind = iota
+	// ChanSend is a send statement ch <- v.
+	ChanSend
+	// ChanRecv is a receive expression <-ch (including the comm clause
+	// of a select and ranging over a channel).
+	ChanRecv
+	// ChanClose is a close(ch) builtin call.
+	ChanClose
+)
+
+func (k ChanOpKind) String() string {
+	switch k {
+	case ChanMake:
+		return "make"
+	case ChanSend:
+		return "send"
+	case ChanRecv:
+		return "receive"
+	case ChanClose:
+		return "close"
+	}
+	return "chan-op"
+}
+
+// ChanOp is one channel operation found inside a CFG node.
+type ChanOp struct {
+	Kind ChanOpKind
+	// Key is the canonical name of the channel expression (see ExprKey);
+	// "" when the channel is computed (indexed, returned by a call) and
+	// cannot be tracked by name.
+	Key string
+	// Ch is the channel expression itself.
+	Ch ast.Expr
+	// Pos locates the operation for diagnostics.
+	Pos token.Pos
+}
+
+// ChanOps classifies the channel operations that execute at CFG node n,
+// in source order. It respects block boundaries the same way the
+// builder does: function-literal bodies are skipped (they run when
+// called), a RangeStmt header contributes only its range expression
+// (the body lives in other blocks), and DeferStmt nodes contribute
+// nothing — a deferred close runs at function exit, not in flow order,
+// so callers handle Graph.Defers separately.
+func ChanOps(info *types.Info, n ast.Node) []ChanOp {
+	if _, ok := n.(*ast.DeferStmt); ok {
+		return nil
+	}
+	if r, ok := n.(*ast.RangeStmt); ok {
+		if IsChanExpr(info, r.X) {
+			return []ChanOp{{Kind: ChanRecv, Key: ExprKey(r.X), Ch: r.X, Pos: r.For}}
+		}
+		return nil
+	}
+	var out []ChanOp
+	InspectShallow(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.SendStmt:
+			out = append(out, ChanOp{Kind: ChanSend, Key: ExprKey(m.Chan), Ch: m.Chan, Pos: m.Arrow})
+		case *ast.UnaryExpr:
+			if m.Op == token.ARROW {
+				out = append(out, ChanOp{Kind: ChanRecv, Key: ExprKey(m.X), Ch: m.X, Pos: m.OpPos})
+			}
+		case *ast.CallExpr:
+			id, ok := ast.Unparen(m.Fun).(*ast.Ident)
+			if !ok || len(m.Args) == 0 {
+				return true
+			}
+			if _, builtin := info.Uses[id].(*types.Builtin); !builtin {
+				return true
+			}
+			switch id.Name {
+			case "close":
+				out = append(out, ChanOp{Kind: ChanClose, Key: ExprKey(m.Args[0]), Ch: m.Args[0], Pos: m.Pos()})
+			case "make":
+				if IsChanExpr(info, m.Args[0]) || isChanTypeExpr(info, m.Args[0]) {
+					out = append(out, ChanOp{Kind: ChanMake, Ch: m.Args[0], Pos: m.Pos()})
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// IsChanExpr reports whether e's type is (or points at) a channel.
+func IsChanExpr(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+// isChanTypeExpr reports whether e is a channel *type* expression —
+// the first argument of make(chan T) is a type, not a value, so
+// TypeOf yields the type itself rather than a value's type.
+func isChanTypeExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || !tv.IsType() {
+		return false
+	}
+	_, isc := tv.Type.Underlying().(*types.Chan)
+	return isc
+}
+
+// RecvOnly reports whether e is a receive-only channel (<-chan T).
+// Sends and closes on such a channel are compile errors, so must-facts
+// about them never arise; the helper exists for checks that want to
+// treat receive-only parameters as externally-managed lifetimes.
+func RecvOnly(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	ch, ok := t.Underlying().(*types.Chan)
+	return ok && ch.Dir() == types.RecvOnly
+}
+
+// ExprKey renders an ident/selector chain ("m.mu", "w.results") as a
+// canonical string for lattice maps; expressions involving calls or
+// indexing yield "" — their identity is not stable across program
+// points, so flow-sensitive facts must not be keyed on them.
+func ExprKey(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		base := ExprKey(e.X)
+		if base == "" {
+			return ""
+		}
+		return base + "." + e.Sel.Name
+	case *ast.StarExpr:
+		return ExprKey(e.X)
+	}
+	return ""
+}
+
+// GoFuncLit returns the immediately-invoked function literal of
+// `go func(...) {...}(...)`, or nil when the goroutine runs a named
+// function, method value, or other call target.
+func GoFuncLit(g *ast.GoStmt) *ast.FuncLit {
+	lit, _ := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	return lit
+}
+
+// GoCallee resolves the static callee of `go f(...)` / `go x.M(...)`,
+// or nil for function literals and indirect calls. Combined with
+// Index.Lookup this gives interprocedural checks the spawned body.
+func GoCallee(info *types.Info, g *ast.GoStmt) *types.Func {
+	if GoFuncLit(g) != nil {
+		return nil
+	}
+	return Callee(info, g.Call)
+}

@@ -1,0 +1,445 @@
+package flow
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// typecheckBody parses and type-checks a full file and returns the body
+// of the first function declaration along with the type info the
+// concurrency helpers need.
+func typecheckBody(t *testing.T, file string) (*token.FileSet, *ast.BlockStmt, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "t.go", file, 0)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, file)
+	}
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Uses:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{Importer: importer.Default()}
+	if _, err := conf.Check("p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatalf("typecheck: %v\n%s", err, file)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			return fset, fd.Body, info
+		}
+	}
+	t.Fatal("no function named f")
+	return nil, nil, nil
+}
+
+func TestSelectBranchesToEveryClauseAndOnlyClauses(t *testing.T) {
+	fset, body := parseBody(t, strings.Join([]string{
+		"ch := make(chan int)", // line 3
+		"done := make(chan struct{})",
+		"x := 0",
+		"select {",
+		"case v := <-ch:", // line 7
+		"\tx = v",         // line 8
+		"case <-done:",    // line 9
+		"\tx = -1",        // line 10
+		"}",
+		"return x", // line 12
+	}, "\n"))
+	g := New(body)
+	entry := blockOf(t, fset, g, 3)
+	recvClause := blockOf(t, fset, g, 7)
+	doneClause := blockOf(t, fset, g, 9)
+	after := blockOf(t, fset, g, 12)
+	if !hasEdge(entry, recvClause) || !hasEdge(entry, doneClause) {
+		t.Fatal("select entry must branch to every comm clause")
+	}
+	if hasEdge(entry, after) {
+		t.Fatal("a select executes exactly one clause; there must be no skip edge to after")
+	}
+	if !hasEdge(recvClause, after) || !hasEdge(doneClause, after) {
+		t.Fatal("clause bodies must flow to the statement after the select")
+	}
+	// The comm operation is the first node of its clause body block, so
+	// transfer functions see the receive before the clause statements.
+	if len(recvClause.Nodes) == 0 {
+		t.Fatal("clause block has no nodes")
+	}
+	if _, ok := recvClause.Nodes[0].(*ast.AssignStmt); !ok {
+		t.Fatalf("first node of the clause should be the comm binding, got %T", recvClause.Nodes[0])
+	}
+}
+
+func TestSelectDefaultIsJustAnotherBranch(t *testing.T) {
+	fset, body := parseBody(t, strings.Join([]string{
+		"ch := make(chan int)", // line 3
+		"x := 0",
+		"select {",
+		"case x = <-ch:", // line 6
+		"default:",       //
+		"\tx = 9",        // line 8
+		"}",
+		"return x", // line 10
+	}, "\n"))
+	g := New(body)
+	entry := blockOf(t, fset, g, 3)
+	def := blockOf(t, fset, g, 8)
+	after := blockOf(t, fset, g, 10)
+	if !hasEdge(entry, def) {
+		t.Fatal("default clause must be a branch target of the select entry")
+	}
+	if hasEdge(entry, after) {
+		t.Fatal("even with a default, the select executes exactly one clause")
+	}
+	if !hasEdge(def, after) {
+		t.Fatal("default body must flow to after")
+	}
+}
+
+func TestEmptySelectIsDeadEnd(t *testing.T) {
+	_, body := parseBody(t, "x := 1\n_ = x\nselect {}")
+	g := New(body)
+	if g.ExitReachable() {
+		t.Fatal("select{} parks forever; exit must be unreachable")
+	}
+}
+
+func TestSelectLabeledBreakOutOfLoop(t *testing.T) {
+	fset, body := parseBody(t, strings.Join([]string{
+		"ch := make(chan int)",
+		"done := make(chan struct{})",
+		"x := 0",
+		"loop:", //
+		"for {", // line 7
+		"\tselect {",
+		"\tcase v := <-ch:", // line 9
+		"\t\tx += v",
+		"\tcase <-done:", // line 11
+		"\t\tbreak loop", // line 12
+		"\t}",
+		"}",
+		"return x", // line 15
+	}, "\n"))
+	g := New(body)
+	brk := blockOf(t, fset, g, 11)
+	after := blockOf(t, fset, g, 15)
+	if !hasEdge(brk, after) {
+		t.Fatal("labeled break inside a select must edge past the enclosing loop")
+	}
+	if !g.ExitReachable() {
+		t.Fatal("the break path terminates the loop; exit is reachable")
+	}
+}
+
+func TestForSelectWithoutEscapeDoesNotReachExit(t *testing.T) {
+	_, body := parseBody(t, strings.Join([]string{
+		"ch := make(chan int)",
+		"x := 0",
+		"for {",
+		"\tselect {",
+		"\tcase v := <-ch:",
+		"\t\tx += v",
+		"\t}",
+		"}",
+	}, "\n"))
+	g := New(body)
+	if g.ExitReachable() {
+		t.Fatal("for+select with no break/return never terminates; exit must be unreachable")
+	}
+}
+
+func TestGoStmtCollectedAndInBlock(t *testing.T) {
+	fset, body := parseBody(t, strings.Join([]string{
+		"x := 0",        // line 3
+		"go func() {",   // line 4
+		"\tx++",         //
+		"}()",           //
+		"go println(x)", // line 7
+		"return x",      // line 8
+	}, "\n"))
+	g := New(body)
+	if len(g.Gos) != 2 {
+		t.Fatalf("Gos = %d, want 2", len(g.Gos))
+	}
+	if g.Gos[0].Pos() >= g.Gos[1].Pos() {
+		t.Fatal("Gos must be in source order")
+	}
+	// The spawn is a straight-line node: the block holding it flows on.
+	spawn := blockOf(t, fset, g, 7)
+	found := false
+	for _, n := range spawn.Nodes {
+		if _, ok := n.(*ast.GoStmt); ok {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("go statement must appear as a node in its block")
+	}
+	if !g.ExitReachable() {
+		t.Fatal("spawning does not block the spawner")
+	}
+}
+
+func TestSendStmtIsStraightLineNode(t *testing.T) {
+	fset, body := parseBody(t, strings.Join([]string{
+		"ch := make(chan int, 1)", // line 3
+		"ch <- 1",                 // line 4
+		"v := <-ch",               // line 5
+		"return v",                // line 6
+	}, "\n"))
+	g := New(body)
+	blk := blockOf(t, fset, g, 4)
+	hasSend := false
+	for _, n := range blk.Nodes {
+		if _, ok := n.(*ast.SendStmt); ok {
+			hasSend = true
+		}
+	}
+	if !hasSend {
+		t.Fatal("send statement must be a node in its block")
+	}
+	// Straight-line: send, recv and return share the entry block.
+	if blk != blockOf(t, fset, g, 5) || blk != blockOf(t, fset, g, 6) {
+		t.Fatal("channel ops are straight-line; no new block boundaries")
+	}
+}
+
+func TestWithBlockingCallsDeadEnd(t *testing.T) {
+	fset, body := parseBody(t, "if c {\n\tparkForever()\n}\nreturn 1")
+	blocking := func(call *ast.CallExpr) bool {
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "parkForever"
+	}
+	g := New(body, WithBlockingCalls(blocking))
+	blk := blockOf(t, fset, g, 4)
+	if len(blk.Succs) != 0 {
+		t.Fatalf("blocking-call block must be a dead end, has %d successors", len(blk.Succs))
+	}
+	if blk.Panics {
+		t.Fatal("parking is not panicking; the block must not be marked Panics")
+	}
+	if !g.ExitReachable() {
+		t.Fatal("the c==false path still returns; exit is reachable")
+	}
+
+	// When every path parks, exit is unreachable.
+	_, body2 := parseBody(t, "parkForever()")
+	g2 := New(body2, WithBlockingCalls(blocking))
+	if g2.ExitReachable() {
+		t.Fatal("unconditional blocking call: exit must be unreachable")
+	}
+}
+
+func TestExitReachableTerminalPathsCount(t *testing.T) {
+	// A goroutine that panics or exits the process terminates — it does
+	// not leak — so panic exits count as reachable.
+	_, body := parseBody(t, "panic(\"boom\")")
+	if !New(body).ExitReachable() {
+		t.Fatal("panic terminates the goroutine; exit must count as reachable")
+	}
+	_, body2 := parseBody(t, "for {\n\t_ = c\n}")
+	if New(body2).ExitReachable() {
+		t.Fatal("for{} without break/return must not reach exit")
+	}
+	_, body3 := parseBody(t, "for {\n\tif c {\n\t\tbreak\n\t}\n}")
+	if !New(body3).ExitReachable() {
+		t.Fatal("a break escapes the loop; exit is reachable")
+	}
+}
+
+// TestSelectLoopCarriedFact pins the fixpoint across a select back
+// edge: a fact established in one clause must round the for loop and
+// appear in the other clause's IN — the shape the concurrency checks'
+// channel-state lattices depend on.
+func TestSelectLoopCarriedFact(t *testing.T) {
+	fset, body := parseBody(t, strings.Join([]string{
+		"ch := make(chan int)",
+		"done := make(chan struct{})",
+		"var x int",
+		"for {",
+		"\tselect {",
+		"\tcase <-ch:",
+		"\t\tx = 1",      // line 9: the fact
+		"\tcase <-done:", // line 10
+		"\t\t_ = x",
+		"\t\treturn x",
+		"\t}",
+		"}",
+	}, "\n"))
+	g := New(body)
+	lat := mayLat()
+	sol := Solve(g, lat, assignTransfer)
+	doneClause := blockOf(t, fset, g, 10)
+	if !sol.Reached[doneClause.Index] {
+		t.Fatal("done clause unreached")
+	}
+	if !sol.In[doneClause.Index]["x"] {
+		t.Fatalf("fact set in the sibling clause must arrive via the loop back edge, got %v", sol.In[doneClause.Index])
+	}
+	// First iteration facts: entering the select the first time, x is
+	// not yet may-assigned at the entry block holding the makes.
+	entry := blockOf(t, fset, g, 3)
+	if sol.In[entry.Index]["x"] {
+		t.Fatal("entry IN must be empty; the loop back edge targets the select entry, not the prologue")
+	}
+}
+
+func TestChanOpsClassification(t *testing.T) {
+	fset, body, info := typecheckBody(t, strings.Join([]string{
+		"package p",
+		"func f(ch chan int, out chan<- int) int {", // line 2
+		"\tq := make(chan int, 4)",                  // line 3
+		"\tch <- 1",                                 // line 4
+		"\tv := <-ch",                               // line 5
+		"\tclose(q)",                                // line 6
+		"\tout <- v",                                // line 7
+		"\treturn v",
+		"}",
+	}, "\n"))
+	g := New(body)
+	var got []ChanOp
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			got = append(got, ChanOps(info, n)...)
+		}
+	}
+	want := []struct {
+		kind ChanOpKind
+		key  string
+		line int
+	}{
+		{ChanMake, "", 3},
+		{ChanSend, "ch", 4},
+		{ChanRecv, "ch", 5},
+		{ChanClose, "q", 6},
+		{ChanSend, "out", 7},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("ChanOps = %d ops, want %d: %+v", len(got), len(want), got)
+	}
+	for i, w := range want {
+		if got[i].Kind != w.kind {
+			t.Errorf("op %d: kind = %v, want %v", i, got[i].Kind, w.kind)
+		}
+		if w.key != "" && got[i].Key != w.key {
+			t.Errorf("op %d: key = %q, want %q", i, got[i].Key, w.key)
+		}
+		if l := fset.Position(got[i].Pos).Line; l != w.line {
+			t.Errorf("op %d: line = %d, want %d", i, l, w.line)
+		}
+	}
+}
+
+func TestChanOpsSkipsDeferAndFuncLit(t *testing.T) {
+	_, body, info := typecheckBody(t, strings.Join([]string{
+		"package p",
+		"func f(ch chan int) {",
+		"\tdefer close(ch)",
+		"\tg := func() { ch <- 1 }",
+		"\tg()",
+		"}",
+	}, "\n"))
+	g := New(body)
+	var got []ChanOp
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			got = append(got, ChanOps(info, n)...)
+		}
+	}
+	if len(got) != 0 {
+		t.Fatalf("deferred close runs at exit and the literal's send runs when called; want no flow-order ops, got %+v", got)
+	}
+	if len(g.Defers) != 1 {
+		t.Fatalf("the deferred close must still be on Graph.Defers, got %d", len(g.Defers))
+	}
+}
+
+func TestChanOpsRangeOverChannel(t *testing.T) {
+	_, body, info := typecheckBody(t, strings.Join([]string{
+		"package p",
+		"func f(ch chan int) int {",
+		"\ttotal := 0",
+		"\tfor v := range ch {",
+		"\t\ttotal += v",
+		"\t}",
+		"\treturn total",
+		"}",
+	}, "\n"))
+	g := New(body)
+	var recvs []ChanOp
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			for _, op := range ChanOps(info, n) {
+				if op.Kind == ChanRecv {
+					recvs = append(recvs, op)
+				}
+			}
+		}
+	}
+	if len(recvs) != 1 || recvs[0].Key != "ch" {
+		t.Fatalf("range over a channel is one receive on ch, got %+v", recvs)
+	}
+}
+
+func TestGoCalleeAndGoFuncLit(t *testing.T) {
+	_, body, info := typecheckBody(t, strings.Join([]string{
+		"package p",
+		"func worker() {}",
+		"func f() {",
+		"\tgo worker()",
+		"\tgo func() {}()",
+		"}",
+	}, "\n"))
+	g := New(body)
+	if len(g.Gos) != 2 {
+		t.Fatalf("Gos = %d, want 2", len(g.Gos))
+	}
+	named := GoCallee(info, g.Gos[0])
+	if named == nil || named.Name() != "worker" {
+		t.Fatalf("GoCallee(go worker()) = %v, want worker", named)
+	}
+	if GoFuncLit(g.Gos[0]) != nil {
+		t.Fatal("go worker() has no function literal")
+	}
+	if GoCallee(info, g.Gos[1]) != nil {
+		t.Fatal("a literal spawn has no static named callee")
+	}
+	if GoFuncLit(g.Gos[1]) == nil {
+		t.Fatal("GoFuncLit must return the spawned literal")
+	}
+}
+
+func TestRecvOnly(t *testing.T) {
+	_, body, info := typecheckBody(t, strings.Join([]string{
+		"package p",
+		"func f(in <-chan int, bi chan int) int {",
+		"\tv := <-in",
+		"\tw := <-bi",
+		"\treturn v + w",
+		"}",
+	}, "\n"))
+	var recvOnly, bidi bool
+	ast.Inspect(body, func(n ast.Node) bool {
+		if u, ok := n.(*ast.UnaryExpr); ok && u.Op == token.ARROW {
+			id := u.X.(*ast.Ident)
+			switch id.Name {
+			case "in":
+				recvOnly = RecvOnly(info, u.X)
+			case "bi":
+				bidi = RecvOnly(info, u.X)
+			}
+		}
+		return true
+	})
+	if !recvOnly {
+		t.Fatal("in is <-chan int: RecvOnly must be true")
+	}
+	if bidi {
+		t.Fatal("bi is chan int: RecvOnly must be false")
+	}
+}

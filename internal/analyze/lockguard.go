@@ -124,29 +124,11 @@ func lockOp(info *types.Info, call *ast.CallExpr) (key, op string) {
 	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
 		return "", ""
 	}
-	key = exprKey(sel.X)
+	key = flow.ExprKey(sel.X)
 	if key == "" {
 		return "", ""
 	}
 	return key, sel.Sel.Name
-}
-
-// exprKey renders an ident/selector chain ("m.mu") as a canonical
-// string; anything with calls or indexing yields "".
-func exprKey(e ast.Expr) string {
-	switch e := ast.Unparen(e).(type) {
-	case *ast.Ident:
-		return e.Name
-	case *ast.SelectorExpr:
-		base := exprKey(e.X)
-		if base == "" {
-			return ""
-		}
-		return base + "." + e.Sel.Name
-	case *ast.StarExpr:
-		return exprKey(e.X)
-	}
-	return ""
 }
 
 // lockTransfer applies one CFG node's mutex operations to a lockset

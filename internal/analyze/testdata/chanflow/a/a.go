@@ -1,0 +1,71 @@
+package a
+
+// Bad: straight-line double close.
+func doubleClose() {
+	ch := make(chan int)
+	close(ch)
+	close(ch) // want "can already be closed"
+}
+
+// Bad: send after close panics.
+func sendAfterClose() {
+	ch := make(chan int, 1)
+	close(ch)
+	ch <- 1 // want "sending on a closed channel panics"
+}
+
+// Bad: the channel is nil on every path; the send parks forever.
+func nilSend() {
+	var ch chan int
+	ch <- 1 // want "nil-channel send blocks forever"
+}
+
+// Bad: nil receive parks forever.
+func nilRecv() {
+	var ch chan int
+	<-ch // want "nil-channel receive blocks forever"
+}
+
+// Bad: one branch already closed it — a may-fact the join keeps.
+func branchClose(flip bool) {
+	ch := make(chan int)
+	if flip {
+		close(ch)
+	}
+	close(ch) // want "can already be closed"
+}
+
+// Bad: the deferred close runs after the explicit one.
+func deferDouble() {
+	ch := make(chan int)
+	defer close(ch) // want "deferred close"
+	close(ch)
+}
+
+// Good: made, used, closed exactly once.
+func once() {
+	ch := make(chan int, 1)
+	ch <- 1
+	close(ch)
+}
+
+// Good: remaking the channel resets its state.
+func remade() {
+	ch := make(chan int)
+	close(ch)
+	ch = make(chan int)
+	close(ch)
+}
+
+// Good: passing the channel to a callee hands off its lifecycle.
+func handsOff(sink func(chan int)) {
+	ch := make(chan int)
+	close(ch)
+	sink(ch)
+	close(ch)
+}
+
+// Good: parameters have no tracked state — no facts, no findings.
+func unknown(ch chan int) {
+	close(ch)
+}

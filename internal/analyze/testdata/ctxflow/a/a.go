@@ -1,0 +1,90 @@
+package a
+
+import (
+	"context"
+	"time"
+)
+
+// pump blocks on a bare receive and takes no context; Prepare puts it
+// in the blocks-without-ctx summary.
+func pump(ch chan int) int {
+	return <-ch
+}
+
+// relay calls pump, so it inherits the summary transitively.
+func relay(ch chan int) int {
+	return pump(ch)
+}
+
+// Bad: a ctx is in scope but cancellation cannot reach the receive
+// buried two calls down — only the interprocedural summary sees this.
+func run(ctx context.Context, ch chan int) int {
+	_ = ctx
+	return relay(ch) // want "blocks on a channel operation"
+}
+
+// Bad: time.Sleep cannot be cancelled.
+func tick(ctx context.Context) {
+	_ = ctx
+	time.Sleep(time.Second) // want "cannot be cancelled"
+}
+
+// Bad: for+select loop with no way out on cancellation.
+func wait(ctx context.Context, ch chan int) {
+	_ = ctx
+	for { // want "no cancellation path"
+		select {
+		case v := <-ch:
+			_ = v
+		}
+	}
+}
+
+// Good: a ctx.Done clause makes the loop cancellable.
+func waitDone(ctx context.Context, ch chan int) {
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case v := <-ch:
+			_ = v
+		}
+	}
+}
+
+// Good: a default clause never parks.
+func poll(ctx context.Context, ch chan int) {
+	for {
+		select {
+		case v := <-ch:
+			_ = v
+		default:
+			return
+		}
+	}
+}
+
+// serve takes a context, so it is never summarized as blocking.
+func serve(ctx context.Context, ch chan int) {
+	select {
+	case <-ctx.Done():
+	case v := <-ch:
+		_ = v
+	}
+}
+
+// Bad: dropping the live ctx on the floor.
+func drive(ctx context.Context, ch chan int) {
+	serve(context.Background(), ch) // want "pass the live ctx"
+}
+
+// Good: threading the real context through.
+func driveRight(ctx context.Context, ch chan int) {
+	serve(ctx, ch)
+}
+
+// Good: no context anywhere in scope — pump's blocking is its caller's
+// problem only once a context exists to thread.
+func plain(ch chan int) int {
+	return pump(ch)
+}

@@ -1,0 +1,76 @@
+package a
+
+import "context"
+
+// Bad: for+select with a single clause that loops back forever. The
+// sequential CFG would give the select a skip edge and miss this; the
+// concurrency-aware builder knows exactly one clause runs per iteration.
+func spawnLeaky(ch chan int) {
+	go func() { // want "can never terminate"
+		for {
+			select {
+			case v := <-ch:
+				_ = v
+			}
+		}
+	}()
+}
+
+// Good: a ctx.Done clause returns, so the exit is reachable.
+func spawnCancellable(ctx context.Context, ch chan int) {
+	go func() {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case v := <-ch:
+				_ = v
+			}
+		}
+	}()
+}
+
+// loopForever's own CFG cannot reach its exit.
+func loopForever() {
+	for {
+	}
+}
+
+// Bad: interprocedural — the named callee can never return.
+func spawnNamed() {
+	go loopForever() // want "can never return"
+}
+
+// Good: range over a channel ends when the channel is closed.
+func spawnRange(ch chan int) {
+	go func() {
+		for v := range ch {
+			_ = v
+		}
+	}()
+}
+
+// Good: a labeled break escapes the loop from inside the select.
+func spawnBreaks(ch chan int, quit chan struct{}) {
+	go func() {
+	loop:
+		for {
+			select {
+			case v := <-ch:
+				_ = v
+			case <-quit:
+				break loop
+			}
+		}
+	}()
+}
+
+// Good: a crashing goroutine terminates (panic path counts).
+func spawnPanics(ch chan int) {
+	go func() {
+		v := <-ch
+		if v < 0 {
+			panic("negative")
+		}
+	}()
+}

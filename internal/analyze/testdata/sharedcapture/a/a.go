@@ -1,0 +1,94 @@
+package a
+
+import "sync"
+
+// Bad: the spawner writes the map while the spawned goroutine also
+// writes it — no join, no lock, a plain data race. Only the may-alive
+// spawn analysis can tell this from the joined version below.
+func racyMap() map[string]int {
+	m := map[string]int{}
+	go func() {
+		m["worker"] = 1
+	}()
+	m["spawner"] = 2 // want "while the goroutine spawned at line"
+	return m
+}
+
+// Good: wg.Wait is a join barrier; the spawner's write is ordered
+// after the goroutine's.
+func joinedMap() map[string]int {
+	m := map[string]int{}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		m["worker"] = 1
+	}()
+	wg.Wait()
+	m["spawner"] = 2
+	return m
+}
+
+// Good: both sides hold the same mutex around every access.
+func lockedMap(m map[string]int) {
+	var mu sync.Mutex
+	go func() {
+		mu.Lock()
+		m["worker"] = 1
+		mu.Unlock()
+	}()
+	mu.Lock()
+	m["spawner"] = 2
+	mu.Unlock()
+}
+
+// Bad: the goroutine holds the lock but the spawner writes bare — the
+// discipline must hold on both sides.
+func halfLocked(m map[string]int) {
+	var mu sync.Mutex
+	go func() {
+		mu.Lock()
+		m["worker"] = 1
+		mu.Unlock()
+	}()
+	m["spawner"] = 2 // want "no join or common lock"
+}
+
+// Bad: two overlapping goroutines write the same slice with no lock.
+func doubleSpawn() []int {
+	buf := make([]int, 4)
+	done := make(chan struct{}, 2)
+	go func() {
+		buf[0] = 1
+		done <- struct{}{}
+	}()
+	go func() { // want "while the goroutine spawned at line"
+		buf[1] = 2
+		done <- struct{}{}
+	}()
+	<-done
+	<-done
+	return buf
+}
+
+// Good: a channel receive is a join barrier; reading after it is safe.
+func recvJoined() []int {
+	buf := make([]int, 4)
+	done := make(chan struct{})
+	go func() {
+		buf[0] = 1
+		close(done)
+	}()
+	<-done
+	buf[1] = 2
+	return buf
+}
+
+// Good: read-read sharing needs no synchronization.
+func readOnly(cfg map[string]int) int {
+	sum := 0
+	go func() {
+		_ = cfg["a"]
+	}()
+	return sum + cfg["b"]
+}

@@ -1,0 +1,75 @@
+package a
+
+import "sync"
+
+// Bad twice over: the Add races Wait (the scheduler can run Wait
+// first), and from the spawner's view the balance can never be zero.
+func addInGoroutine() {
+	var wg sync.WaitGroup
+	go func() {
+		wg.Add(1) // want "races Wait; call Add before the go statement"
+		defer wg.Done()
+	}()
+	wg.Wait() // want "never zero"
+}
+
+// Bad: an Add with no Done anywhere.
+func neverDone() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	wg.Wait() // want "never zero"
+}
+
+// Bad: the second Done pushes the counter negative, which panics.
+func extraDone() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	wg.Done()
+	wg.Done() // want "below zero on every path"
+}
+
+// Bad: the loop accumulates Adds but the spawned body forgot its Done,
+// so the counter drifts upward and Wait deadlocks.
+func driftUp(items []int) {
+	var wg sync.WaitGroup
+	for range items {
+		wg.Add(1)
+		go func() {
+		}()
+	}
+	wg.Wait() // want "drifts upward"
+}
+
+// Good: the engine.runMap shape — Add before go, deferred Done in the
+// spawned body credited at the spawn, net zero per iteration.
+func fanOut(items []int) {
+	var wg sync.WaitGroup
+	for range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// Good: a WaitGroup handed to another function has Dones we cannot
+// see; it is skipped, not guessed at.
+func escapes() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go worker(&wg)
+	wg.Wait()
+}
+
+func worker(wg *sync.WaitGroup) { wg.Done() }
+
+// Good: branch-balanced — both paths net zero at Wait.
+func branches(flip bool) {
+	var wg sync.WaitGroup
+	if flip {
+		wg.Add(1)
+		go func() { defer wg.Done() }()
+	}
+	wg.Wait()
+}

@@ -41,23 +41,35 @@ echo "bench: wrote $out"
 
 # Second pass: the fault-injection robustness numbers. The two
 # BenchmarkInjectRecovery sub-benchmarks run the identical simulation
-# with injection off and on, so their ns/op difference is the
-# detection/recovery overhead; BenchmarkChaosCampaign's ns/op is the
-# cost of one ten-epoch back-off campaign.
+# with injection off and on and report the SIMULATED recovery time
+# (RecoveryCycles at the operating point's clock period) as a
+# recovery-ns metric; the paired on-minus-off delta is the
+# detection/recovery overhead. Wall-clock ns/op is recorded per
+# sub-benchmark for reference but never subtracted — scheduler noise
+# between the two runs dwarfs the overhead and used to produce a
+# negative number. The simulated delta is exact, non-negative, and
+# byte-identical across runs of the same seeds.
+# BenchmarkChaosCampaign's ns/op is the cost of one ten-epoch back-off
+# campaign.
 out=BENCH_inject.json
 go test -run '^$' -bench 'BenchmarkInjectRecovery|BenchmarkChaosCampaign' -benchtime "${BENCHTIME:-1x}" . | tee /dev/stderr | awk '
 	/^Benchmark/ {
 		name = $1; sub(/-[0-9]+$/, "", name)
 		if (!(name in ns)) order[n++] = name
 		ns[name] = $3
+		for (i = 4; i <= NF; i++)
+			if ($i == "recovery-ns") rec[name] = $(i - 1)
 	}
 	END {
 		off = "BenchmarkInjectRecovery/inject=off"
 		on = "BenchmarkInjectRecovery/inject=on"
 		camp = "BenchmarkChaosCampaign"
 		printf "{\n"
-		if ((off in ns) && (on in ns))
-			printf "  \"recovery_overhead_ns_per_op\": %.0f,\n", ns[on] - ns[off]
+		if ((off in rec) && (on in rec)) {
+			d = rec[on] - rec[off]
+			if (d < 0) d = 0
+			printf "  \"recovery_overhead_ns_per_op\": %.0f,\n", d
+		}
 		if (camp in ns)
 			printf "  \"campaign_ns_per_op\": %.0f,\n", ns[camp]
 		for (i = 0; i < n; i++)
@@ -69,7 +81,7 @@ echo "bench: wrote $out"
 
 # Third pass: linter latency. Runs lvlint over the whole module twice —
 # once against an empty .lvlint-cache (cold: full parse + typecheck +
-# nine analyzers) and once against the cache the cold run just filled
+# fourteen analyzers) and once against the cache the cold run just filled
 # (warm: one content-hash probe and a cached-JSON replay). The binary is
 # built once so both numbers measure analysis, not compilation.
 out=BENCH_lint.json

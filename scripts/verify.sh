@@ -5,7 +5,9 @@
 #   vet    — stdlib vet checks
 #   lvlint — the repo's own analyzers (detflow, unitcheck, unitflow,
 #            exhaustive, errdrop, lockguard, lockbalance, deferloop,
-#            nopanic); nonzero exit on any finding
+#            nopanic, plus the concflow concurrency suite: goleak,
+#            ctxflow, chanflow, wgbalance, sharedcapture); nonzero
+#            exit on any finding
 #   test   — full unit/integration suite
 #   race   — race detector on the packages with shared mutable state
 #            (the run scheduler, the simulator fan-out, the cache model
