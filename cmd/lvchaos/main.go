@@ -10,14 +10,17 @@
 //	lvchaos -bench qsort -die 3 -intensity 5
 //	lvchaos -bench qsort,dijkstra -dies 4 -epochs 20   # campaign grid
 //	lvchaos -intensity 0 -start 480                    # fault-free creep-down
+//	lvchaos -dies 8 -shards 4 -checkpoint c.ckpt       # sharded, resumable
 //
 // Campaigns are deterministic: a fixed flag set produces byte-identical
-// output at any -workers count. SIGINT flushes the campaigns that
-// already finished before exiting nonzero.
+// output at any -workers or -shards count. SIGINT flushes the campaigns
+// that already finished before exiting nonzero; with -checkpoint, even
+// a SIGKILLed grid resumes via -resume.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -29,33 +32,43 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/cpu"
+	"repro/internal/dist"
 	"repro/internal/dvfs"
-	"repro/internal/engine"
 	"repro/internal/inject"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
 
 func main() {
+	// Worker mode first: the supervisor re-invokes this binary with the
+	// hidden -dist-worker argument; sim's init registered the job kinds.
+	dist.MaybeWorkerMain() //lvlint:ignore ctxflow a worker serves until supervisor stdin EOF; no context governs its lifetime
+
 	log.SetFlags(0)
 	log.SetPrefix("lvchaos: ")
 	var (
-		bench     = flag.String("bench", "qsort", "comma-separated benchmarks; from "+fmt.Sprint(workload.Names()))
-		die       = flag.Int64("die", 1, "first die seed")
-		dies      = flag.Int("dies", 1, "number of consecutive dies per benchmark")
-		seed      = flag.Int64("seed", 1, "workload seed")
-		iseed     = flag.Int64("iseed", 1, "fault-injection seed")
-		intensity = flag.Float64("intensity", 1, "injection intensity (0 disables injection)")
-		start     = flag.Int("start", 400, "starting voltage in mV (Table II point)")
-		epochs    = flag.Int("epochs", 20, "controller epochs per campaign")
-		epochN    = flag.Uint64("epoch-n", 100_000, "useful instructions per epoch")
-		up        = flag.Float64("up", 1, "back-off threshold: detected faults per kilo-instruction")
-		down      = flag.Float64("down", 0, "stability threshold (0 = up/2)")
-		stable    = flag.Int("stable", 3, "consecutive stable epochs before stepping back down")
-		workers   = flag.Int("workers", 0, "parallel campaign workers (0 = GOMAXPROCS)")
-		timeout   = flag.Duration("timeout", 0, "per-campaign timeout (0 = none)")
+		bench      = flag.String("bench", "qsort", "comma-separated benchmarks; from "+fmt.Sprint(workload.Names()))
+		die        = flag.Int64("die", 1, "first die seed")
+		dies       = flag.Int("dies", 1, "number of consecutive dies per benchmark")
+		seed       = flag.Int64("seed", 1, "workload seed")
+		iseed      = flag.Int64("iseed", 1, "fault-injection seed")
+		intensity  = flag.Float64("intensity", 1, "injection intensity (0 disables injection)")
+		start      = flag.Int("start", 400, "starting voltage in mV (Table II point)")
+		epochs     = flag.Int("epochs", 20, "controller epochs per campaign")
+		epochN     = flag.Uint64("epoch-n", 100_000, "useful instructions per epoch")
+		up         = flag.Float64("up", 1, "back-off threshold: detected faults per kilo-instruction")
+		down       = flag.Float64("down", 0, "stability threshold (0 = up/2)")
+		stable     = flag.Int("stable", 3, "consecutive stable epochs before stepping back down")
+		workers    = flag.Int("workers", 0, "parallel campaign workers (0 = GOMAXPROCS)")
+		timeout    = flag.Duration("timeout", 0, "per-campaign timeout (0 = none)")
+		shards     = flag.Int("shards", 0, "worker subprocesses for the campaign grid (0 = in-process)")
+		checkpoint = flag.String("checkpoint", "", "durable checkpoint file for completed campaigns")
+		resume     = flag.Bool("resume", false, "resume completed campaigns from -checkpoint")
 	)
 	flag.Parse()
+	if *resume && *checkpoint == "" {
+		log.Fatal("-resume requires -checkpoint")
+	}
 
 	var specs []sim.ChaosSpec
 	for _, b := range strings.Split(*bench, ",") {
@@ -78,23 +91,38 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	eng := sim.NewEngine(*workers)
 
-	// MapPartial rather than ChaosCampaign: on SIGINT the campaigns that
-	// already finished are flushed instead of discarded.
-	results, done, err := engine.MapPartial(ctx, eng.Pool(), len(specs), *timeout,
-		func(ctx context.Context, i int) (*sim.ChaosResult, error) {
-			return eng.RunChaos(ctx, specs[i])
-		})
+	// dist.Run has MapPartial semantics: on SIGINT the campaigns that
+	// already finished are flushed instead of discarded, and -checkpoint
+	// makes them durable across a SIGKILL for a later -resume.
+	setupJSON, err := json.Marshal(sim.DistSetup{Workers: *workers, TimeoutNS: int64(*timeout)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	payloads := make([]json.RawMessage, len(specs))
+	for i, s := range specs {
+		if payloads[i], err = json.Marshal(s); err != nil {
+			log.Fatal(err)
+		}
+	}
+	results, done, err := dist.Run(ctx, sim.KindChaos, payloads, dist.Options{
+		Shards: *shards, Checkpoint: *checkpoint, Resume: *resume,
+		Setup: setupJSON, LocalWorkers: *workers,
+	})
+
 	completed := 0
-	for i, res := range results {
+	for i := range results {
 		if !done[i] {
 			continue
+		}
+		var res sim.ChaosResult
+		if derr := json.Unmarshal(results[i], &res); derr != nil {
+			log.Fatalf("campaign %d result: %v", i, derr)
 		}
 		if completed > 0 {
 			fmt.Println()
 		}
-		report(res)
+		report(&res)
 		completed++
 	}
 	if err != nil {

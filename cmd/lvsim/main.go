@@ -6,10 +6,13 @@
 //	lvsim -scheme FFW+BBR -bench basicmath -mv 400
 //	lvsim -mv 440 -n 1000000 -maps 10          # all schemes, all benchmarks
 //	lvsim -mv 400 -workers 2                   # bound the worker pool
+//	lvsim -mv 400 -shards 4 -checkpoint g.ckpt # sharded, crash-resumable
+//	lvsim -mv 400 -shards 4 -checkpoint g.ckpt -resume
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -20,30 +23,40 @@ import (
 	"text/tabwriter"
 
 	"repro/internal/cpu"
+	"repro/internal/dist"
 	"repro/internal/dvfs"
-	"repro/internal/energy"
-	"repro/internal/engine"
 	"repro/internal/sim"
-	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
 func main() {
+	// Worker mode first: when the supervisor re-invokes this binary with
+	// the hidden -dist-worker argument, serve jobs and never return. The
+	// sim job kinds are registered by the sim package's init.
+	dist.MaybeWorkerMain() //lvlint:ignore ctxflow a worker serves until supervisor stdin EOF; no context governs its lifetime
+
 	log.SetFlags(0)
 	log.SetPrefix("lvsim: ")
 	var (
-		scheme  = flag.String("scheme", "", "scheme to simulate (default: all); one of "+fmt.Sprint(sim.AllSchemes()))
-		bench   = flag.String("bench", "", "benchmark (default: all); one of "+fmt.Sprint(workload.Names()))
-		mv      = flag.Int("mv", 400, "operating voltage in mV (Table II point)")
-		n       = flag.Uint64("n", 400_000, "useful instructions per run")
-		maps    = flag.Int("maps", 5, "Monte Carlo fault maps per cell")
-		seed    = flag.Int64("seed", 1, "master random seed")
-		workers = flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
-		timeout = flag.Duration("timeout", 0, "per-run timeout (0 = none)")
-		profile = flag.String("profile", "", "JSON file with a custom workload profile to register")
+		scheme     = flag.String("scheme", "", "scheme to simulate (default: all); one of "+fmt.Sprint(sim.AllSchemes()))
+		bench      = flag.String("bench", "", "benchmark (default: all); one of "+fmt.Sprint(workload.Names()))
+		mv         = flag.Int("mv", 400, "operating voltage in mV (Table II point)")
+		n          = flag.Uint64("n", 400_000, "useful instructions per run")
+		maps       = flag.Int("maps", 5, "Monte Carlo fault maps per cell")
+		seed       = flag.Int64("seed", 1, "master random seed")
+		workers    = flag.Int("workers", 0, "parallel simulation workers (0 = GOMAXPROCS)")
+		timeout    = flag.Duration("timeout", 0, "per-run timeout (0 = none)")
+		profile    = flag.String("profile", "", "JSON file with a custom workload profile to register")
+		shards     = flag.Int("shards", 0, "worker subprocesses for the grid (0 = in-process)")
+		checkpoint = flag.String("checkpoint", "", "durable checkpoint file for completed rows")
+		resume     = flag.Bool("resume", false, "resume completed rows from -checkpoint")
 	)
 	flag.Parse()
+	if *resume && *checkpoint == "" {
+		log.Fatal("-resume requires -checkpoint")
+	}
 
+	setup := sim.DistSetup{Workers: *workers, TimeoutNS: int64(*timeout)}
 	if *profile != "" {
 		data, err := os.ReadFile(*profile)
 		if err != nil {
@@ -56,13 +69,15 @@ func main() {
 		if err := workload.Register(p); err != nil {
 			log.Fatal(err)
 		}
+		// Worker processes never see -profile; the profile travels in the
+		// grid setup instead (and pins the checkpoint's grid hash).
+		setup.Profiles = append(setup.Profiles, json.RawMessage(data))
 		if *bench == "" {
 			*bench = p.Name
 		}
 	}
 
-	op, err := dvfs.PointAt(*mv)
-	if err != nil {
+	if _, err := dvfs.PointAt(*mv); err != nil {
 		log.Fatal(err)
 	}
 	schemes := sim.AllSchemes()
@@ -79,78 +94,52 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	eng := sim.NewEngine(*workers)
-	eng.SetJobTimeout(*timeout)
 
-	// Every (scheme, benchmark) row is one engine job; the Monte Carlo
-	// loop inside a row is sequential. The conventional 760 mV baseline
-	// goes through the run memo, so all schemes of one benchmark share a
-	// single baseline simulation, and rows print in request order no
-	// matter which finishes first.
-	type rowKey struct {
-		s sim.Scheme
-		b string
-	}
-	rows := make([]rowKey, 0, len(schemes)*len(benchmarks))
+	// Every (scheme, benchmark) row is one grid cell; the Monte Carlo
+	// loop inside a cell is sequential (sim.Engine.EvalRow). Results
+	// merge by index, so the table is byte-identical at any -shards
+	// count — including 0, which runs the same code in-process with the
+	// conventional 760 mV baseline shared through the engine's run memo.
+	rows := make([]sim.RowSpec, 0, len(schemes)*len(benchmarks))
 	for _, s := range schemes {
 		for _, b := range benchmarks {
-			rows = append(rows, rowKey{s, b})
+			rows = append(rows, sim.RowSpec{
+				Scheme: s, Benchmark: b, MV: *mv, Maps: *maps,
+				Seed: *seed, Instructions: *n, CPU: cpu.DefaultConfig(),
+			})
 		}
 	}
-	// MapPartial so an interrupt (SIGINT) flushes the rows that already
-	// finished instead of discarding completed work.
-	model := energy.DefaultModel()
-	lines, done, err := engine.MapPartial(ctx, eng.Pool(), len(rows), 0, func(ctx context.Context, i int) (string, error) {
-		s, b := rows[i].s, rows[i].b
-		baseline, err := eng.Run(ctx, sim.RunSpec{
-			Scheme: sim.Conventional, Benchmark: b, Op: dvfs.Nominal(),
-			WorkSeed: *seed, Instructions: *n, CPU: cpu.DefaultConfig(),
-		})
-		if err != nil {
-			return "", err
+	setupJSON, err := json.Marshal(setup)
+	if err != nil {
+		log.Fatal(err)
+	}
+	payloads := make([]json.RawMessage, len(rows))
+	for i, r := range rows {
+		if payloads[i], err = json.Marshal(r); err != nil {
+			log.Fatal(err)
 		}
-		var cpis, runtimes, l2ks, epis []float64
-		yieldFails := 0
-		for m := 0; m < *maps; m++ {
-			if err := ctx.Err(); err != nil {
-				return "", err
-			}
-			r, err := eng.Run(ctx, sim.RunSpec{
-				Scheme: s, Benchmark: b, Op: op,
-				MapSeed: *seed + int64(m), WorkSeed: *seed,
-				Instructions: *n, CPU: cpu.DefaultConfig(),
-			})
-			if errors.Is(err, sim.ErrYield) {
-				yieldFails++
-				continue
-			}
-			if err != nil {
-				return "", err
-			}
-			norm, err := model.Normalized(r, op, sim.L1StaticFactor(s), baseline)
-			if err != nil {
-				return "", err
-			}
-			cpis = append(cpis, r.CPI())
-			runtimes = append(runtimes, 1e3*r.RuntimeSeconds(op.FreqMHz))
-			l2ks = append(l2ks, r.L2PerKiloInstr())
-			epis = append(epis, norm)
-		}
-		if len(cpis) == 0 {
-			return fmt.Sprintf("%s\t%s\t-\t-\t-\t-\t%d", s, b, yieldFails), nil
-		}
-		return fmt.Sprintf("%s\t%s\t%.3f\t%.3f\t%.1f\t%.3f\t%d",
-			s, b, stats.Mean(cpis), stats.Mean(runtimes), stats.Mean(l2ks), stats.Mean(epis), yieldFails), nil
+	}
+
+	// dist.Run has MapPartial semantics: an interrupt (SIGINT) flushes
+	// the rows that already finished — and checkpointed rows survive
+	// even a SIGKILL for a later -resume.
+	results, done, err := dist.Run(ctx, sim.KindRow, payloads, dist.Options{
+		Shards: *shards, Checkpoint: *checkpoint, Resume: *resume,
+		Setup: setupJSON, LocalWorkers: *workers,
 	})
 
 	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "scheme\tbenchmark\tCPI\truntime(ms)\tL2/1k-instr\tEPI(norm)\tyield-fails")
 	completed := 0
-	for i, line := range lines {
+	for i := range results {
 		if !done[i] {
 			continue
 		}
-		fmt.Fprintln(w, line)
+		var r sim.RowResult
+		if derr := json.Unmarshal(results[i], &r); derr != nil {
+			log.Fatalf("row %d result: %v", i, derr)
+		}
+		fmt.Fprintln(w, rowLine(rows[i], r))
 		completed++
 	}
 	w.Flush()
@@ -161,4 +150,14 @@ func main() {
 		}
 		log.Fatal(err)
 	}
+}
+
+// rowLine formats one table row; a cell whose every fault map failed
+// yield prints dashes.
+func rowLine(spec sim.RowSpec, r sim.RowResult) string {
+	if r.Samples == 0 {
+		return fmt.Sprintf("%s\t%s\t-\t-\t-\t-\t%d", spec.Scheme, spec.Benchmark, r.YieldFails)
+	}
+	return fmt.Sprintf("%s\t%s\t%.3f\t%.3f\t%.1f\t%.3f\t%d",
+		spec.Scheme, spec.Benchmark, r.MeanCPI, r.MeanRuntimeMS, r.MeanL2PerKiloInstr, r.MeanNormEPI, r.YieldFails)
 }

@@ -1,0 +1,66 @@
+package dist
+
+import (
+	"context"
+	"io"
+	"path/filepath"
+	"testing"
+)
+
+// BenchmarkShardOverhead measures the fixed cost of the distributed
+// harness: the same small grid of near-free jobs run in-process and
+// under worker subprocesses. Because the jobs themselves cost almost
+// nothing, the sharded number is dominated by process spawn, handshake
+// and frame traffic — the per-campaign overhead a real grid amortizes
+// over expensive simulation rows. bench.sh records the sharded/local
+// ratio as shard_overhead.
+func BenchmarkShardOverhead(b *testing.B) {
+	const n = 16
+	payloads := testGrid(n)
+	run := func(b *testing.B, opts Options) {
+		opts.Stderr = io.Discard
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			_, done, err := Run(context.Background(), testKind, payloads, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for j := range done {
+				if !done[j] {
+					b.Fatalf("row %d not done", j)
+				}
+			}
+		}
+	}
+	b.Run("local", func(b *testing.B) { run(b, Options{}) })
+	b.Run("shards=2", func(b *testing.B) { run(b, Options{Shards: 2}) })
+}
+
+// BenchmarkResumeLatency measures how long -resume takes on a finished
+// campaign: load the checkpoint, verify its grid hash, prefill every
+// row, and write the final flush — no job executes. This is the startup
+// latency a crashed-and-restarted campaign pays before useful work
+// resumes.
+func BenchmarkResumeLatency(b *testing.B) {
+	const n = 64
+	payloads := testGrid(n)
+	path := filepath.Join(b.TempDir(), "grid.ckpt")
+	if _, _, err := Run(context.Background(), testKind, payloads,
+		Options{Checkpoint: path, Stderr: io.Discard}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, done, err := Run(context.Background(), testKind, payloads,
+			Options{Checkpoint: path, Resume: true, Stderr: io.Discard})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for j := range done {
+			if !done[j] {
+				b.Fatal("resume failed to prefill every row")
+			}
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package dist
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// checkpointMagic identifies a checkpoint file; checkpointVersion gates
+// the codec. Bump the version on any incompatible format change — an
+// old file is then rejected with a clear error instead of misread.
+const (
+	checkpointMagic   = "lvdist-checkpoint"
+	checkpointVersion = 1
+)
+
+// Checkpoint is the durable record of a grid's completed rows. The
+// GridHash pins the exact job grid (kind, setup and every payload), so
+// a checkpoint left behind by an edited grid — different seeds,
+// different flags, different row count — is detected as stale rather
+// than silently merged into the wrong campaign.
+type Checkpoint struct {
+	Kind     string
+	GridHash string
+	// N is the grid size; row indices are in [0, N).
+	N    int
+	Rows []CheckpointRow
+}
+
+// CheckpointRow is one completed row: its grid index and its encoded
+// result, verbatim.
+type CheckpointRow struct {
+	Index  int
+	Result json.RawMessage
+}
+
+// ckptHeader is the first frame of a checkpoint file. Count is the
+// exact number of row frames that follow: a file truncated at a frame
+// boundary (otherwise indistinguishable from a smaller checkpoint) is
+// detected as short.
+type ckptHeader struct {
+	Magic    string `json:"magic"`
+	Version  int    `json:"version"`
+	Kind     string `json:"kind"`
+	GridHash string `json:"grid_hash"`
+	N        int    `json:"n"`
+	Count    int    `json:"count"`
+}
+
+// ckptRow is a row frame.
+type ckptRow struct {
+	Index  int             `json:"index"`
+	Result json.RawMessage `json:"result"`
+}
+
+// GridHash content-hashes a job grid: the kind, the setup blob and
+// every payload, length-delimited so concatenation ambiguities cannot
+// collide. Two grids hash equal exactly when a checkpoint of one is
+// valid for the other.
+func GridHash(kind string, setup json.RawMessage, payloads []json.RawMessage) string {
+	h := sha256.New()
+	var lenBuf [8]byte
+	write := func(b []byte) {
+		binary.BigEndian.PutUint64(lenBuf[:], uint64(len(b)))
+		_, _ = h.Write(lenBuf[:]) // hash.Hash.Write never fails
+		_, _ = h.Write(b)
+	}
+	write([]byte(checkpointMagic))
+	write([]byte(kind))
+	write(setup)
+	binary.BigEndian.PutUint64(lenBuf[:], uint64(len(payloads)))
+	_, _ = h.Write(lenBuf[:]) // hash.Hash.Write never fails
+	for _, p := range payloads {
+		write(p)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Encode serializes the checkpoint: a header frame followed by one
+// frame per row, rows sorted by index. Encoding a decoded checkpoint
+// reproduces the input byte for byte (the round-trip stability the fuzz
+// target pins).
+func (c *Checkpoint) Encode() ([]byte, error) {
+	rows := make([]CheckpointRow, len(c.Rows))
+	copy(rows, c.Rows)
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Index < rows[j].Index })
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, ckptHeader{
+		Magic: checkpointMagic, Version: checkpointVersion,
+		Kind: c.Kind, GridHash: c.GridHash, N: c.N, Count: len(rows),
+	}); err != nil {
+		return nil, err
+	}
+	for _, r := range rows {
+		if r.Index < 0 || r.Index >= c.N {
+			return nil, fmt.Errorf("dist: checkpoint row index %d outside grid [0,%d)", r.Index, c.N)
+		}
+		if isNullResult(r.Result) {
+			return nil, fmt.Errorf("dist: checkpoint row %d has no result", r.Index)
+		}
+		if err := writeFrame(&buf, ckptRow{Index: r.Index, Result: r.Result}); err != nil {
+			return nil, err
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeCheckpoint parses and validates checkpoint bytes. Every failure
+// mode — truncation, a corrupt length prefix, JSON garbage, an index
+// outside the grid, duplicate or unsorted rows, a missing result — is
+// an error, never a panic.
+func DecodeCheckpoint(data []byte) (*Checkpoint, error) {
+	r := bytes.NewReader(data)
+	var h ckptHeader
+	if err := readFrame(r, &h); err != nil {
+		if errors.Is(err, io.EOF) {
+			return nil, errors.New("dist: checkpoint is empty")
+		}
+		return nil, fmt.Errorf("dist: checkpoint header: %w", err)
+	}
+	switch {
+	case h.Magic != checkpointMagic:
+		return nil, fmt.Errorf("dist: not a checkpoint file (magic %q)", h.Magic)
+	case h.Version != checkpointVersion:
+		return nil, fmt.Errorf("dist: checkpoint version %d, this binary speaks %d", h.Version, checkpointVersion)
+	case h.N < 0:
+		return nil, fmt.Errorf("dist: checkpoint grid size %d is negative", h.N)
+	case h.Count < 0 || h.Count > h.N:
+		return nil, fmt.Errorf("dist: checkpoint row count %d outside grid of %d", h.Count, h.N)
+	}
+	c := &Checkpoint{Kind: h.Kind, GridHash: h.GridHash, N: h.N}
+	last := -1
+	for i := 0; i < h.Count; i++ {
+		var row ckptRow
+		err := readFrame(r, &row)
+		if errors.Is(err, io.EOF) {
+			return nil, fmt.Errorf("dist: checkpoint truncated: %d of %d rows present: %w", i, h.Count, io.ErrUnexpectedEOF)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dist: checkpoint row %d: %w", i, err)
+		}
+		switch {
+		case row.Index < 0 || row.Index >= h.N:
+			return nil, fmt.Errorf("dist: checkpoint row index %d outside grid [0,%d)", row.Index, h.N)
+		case row.Index <= last:
+			return nil, fmt.Errorf("dist: checkpoint rows out of order (%d after %d)", row.Index, last)
+		case isNullResult(row.Result):
+			return nil, fmt.Errorf("dist: checkpoint row %d has no result", row.Index)
+		}
+		last = row.Index
+		c.Rows = append(c.Rows, CheckpointRow{Index: row.Index, Result: row.Result})
+	}
+	var extra json.RawMessage
+	if err := readFrame(r, &extra); !errors.Is(err, io.EOF) {
+		return nil, fmt.Errorf("dist: checkpoint has data beyond its %d declared rows", h.Count)
+	}
+	return c, nil
+}
+
+// isNullResult reports a missing row result: absent, empty or JSON
+// null (what a nil RawMessage round-trips to).
+func isNullResult(r json.RawMessage) bool {
+	return len(r) == 0 || string(r) == "null"
+}
+
+// LoadCheckpoint reads and decodes the checkpoint at path.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	c, err := DecodeCheckpoint(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w (file %s)", err, path)
+	}
+	return c, nil
+}
+
+// SaveCheckpoint writes the checkpoint durably: encode to a temporary
+// file in the destination directory, sync, then rename over path. A
+// crash at any instant leaves either the previous checkpoint or the new
+// one, never a torn file.
+func SaveCheckpoint(path string, c *Checkpoint) (err error) {
+	data, err := c.Encode()
+	if err != nil {
+		return err
+	}
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("dist: checkpoint temp file: %w", err)
+	}
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			os.Remove(tmp) //lvlint:ignore errdrop best-effort cleanup on a path already reporting the original error
+		}
+	}()
+	if _, err = f.Write(data); err != nil {
+		f.Close() //lvlint:ignore errdrop the Write error is already being reported
+		return fmt.Errorf("dist: writing checkpoint: %w", err)
+	}
+	if err = f.Sync(); err != nil {
+		f.Close() //lvlint:ignore errdrop the Sync error is already being reported
+		return fmt.Errorf("dist: syncing checkpoint: %w", err)
+	}
+	if err = f.Close(); err != nil {
+		return fmt.Errorf("dist: closing checkpoint: %w", err)
+	}
+	if err = os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("dist: publishing checkpoint: %w", err)
+	}
+	return nil
+}

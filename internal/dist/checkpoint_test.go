@@ -1,0 +1,206 @@
+package dist
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sampleCheckpoint() *Checkpoint {
+	return &Checkpoint{
+		Kind:     "sim.row",
+		GridHash: GridHash("sim.row", []byte(`{"workers":2}`), []json.RawMessage{[]byte(`{"seed":1}`), []byte(`{"seed":2}`), []byte(`{"seed":3}`)}),
+		N:        3,
+		Rows: []CheckpointRow{
+			{Index: 2, Result: []byte(`{"cpi":1.25}`)},
+			{Index: 0, Result: []byte(`{"cpi":0.5}`)},
+		},
+	}
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	c := sampleCheckpoint()
+	data, err := c.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := DecodeCheckpoint(data)
+	if err != nil {
+		t.Fatalf("DecodeCheckpoint: %v", err)
+	}
+	if got.Kind != c.Kind || got.GridHash != c.GridHash || got.N != c.N {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	// Encode sorts rows by index.
+	if len(got.Rows) != 2 || got.Rows[0].Index != 0 || got.Rows[1].Index != 2 {
+		t.Fatalf("rows mismatch: %+v", got.Rows)
+	}
+	if string(got.Rows[0].Result) != `{"cpi":0.5}` {
+		t.Fatalf("row 0 result: %s", got.Rows[0].Result)
+	}
+	again, err := got.Encode()
+	if err != nil {
+		t.Fatalf("re-Encode: %v", err)
+	}
+	if string(again) != string(data) {
+		t.Fatal("Encode(Decode(x)) != x: checkpoint encoding is not stable")
+	}
+}
+
+func TestCheckpointRejectsCorruption(t *testing.T) {
+	c := sampleCheckpoint()
+	good, err := c.Encode()
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	cases := map[string][]byte{
+		"empty":         {},
+		"garbage":       []byte("definitely not a checkpoint"),
+		"bad magic":     mustEncodeRaw(t, ckptHeader{Magic: "nope", Version: checkpointVersion, N: 1}),
+		"wrong version": mustEncodeRaw(t, ckptHeader{Magic: checkpointMagic, Version: checkpointVersion + 1, N: 1}),
+		"negative n":    mustEncodeRaw(t, ckptHeader{Magic: checkpointMagic, Version: checkpointVersion, N: -1}),
+	}
+	// Every truncation of a valid file must fail, not decode partially.
+	for cut := 1; cut < len(good); cut++ {
+		cases["truncated"] = good[:cut]
+		for name, data := range cases {
+			if _, err := DecodeCheckpoint(data); err == nil {
+				t.Fatalf("%s: decoded without error", name)
+			}
+		}
+		delete(cases, "truncated")
+	}
+}
+
+func TestCheckpointRejectsBadRows(t *testing.T) {
+	header := ckptHeader{Magic: checkpointMagic, Version: checkpointVersion, Kind: "k", N: 3, Count: 0}
+	cases := map[string][]ckptRow{
+		"index below range": {{Index: -1, Result: []byte(`1`)}},
+		"index above range": {{Index: 3, Result: []byte(`1`)}},
+		"duplicate index":   {{Index: 1, Result: []byte(`1`)}, {Index: 1, Result: []byte(`2`)}},
+		"out of order":      {{Index: 2, Result: []byte(`1`)}, {Index: 0, Result: []byte(`2`)}},
+		"missing result":    {{Index: 0}},
+	}
+	for name, rows := range cases {
+		h := header
+		h.Count = len(rows)
+		data := mustEncodeRaw(t, h)
+		for _, r := range rows {
+			data = append(data, mustEncodeRaw(t, r)...)
+		}
+		if _, err := DecodeCheckpoint(data); err == nil {
+			t.Fatalf("%s: decoded without error", name)
+		}
+	}
+}
+
+// mustEncodeRaw writes arbitrary frames so tests can build malformed
+// checkpoints the public encoder refuses to produce.
+func mustEncodeRaw(t *testing.T, v any) []byte {
+	t.Helper()
+	var buf strings.Builder
+	if err := writeFrame(&buf, v); err != nil {
+		t.Fatalf("writeFrame: %v", err)
+	}
+	return []byte(buf.String())
+}
+
+func TestGridHashSensitivity(t *testing.T) {
+	payloads := []json.RawMessage{[]byte(`{"a":1}`), []byte(`{"b":2}`)}
+	base := GridHash("k", []byte(`{}`), payloads)
+	if GridHash("k2", []byte(`{}`), payloads) == base {
+		t.Fatal("kind change did not change the hash")
+	}
+	if GridHash("k", []byte(`{"x":1}`), payloads) == base {
+		t.Fatal("setup change did not change the hash")
+	}
+	if GridHash("k", []byte(`{}`), payloads[:1]) == base {
+		t.Fatal("payload count change did not change the hash")
+	}
+	if GridHash("k", []byte(`{}`), []json.RawMessage{[]byte(`{"a":1}`), []byte(`{"b":3}`)}) == base {
+		t.Fatal("payload content change did not change the hash")
+	}
+	// Length delimiting: moving a boundary without changing the
+	// concatenation must still change the hash.
+	if GridHash("k", []byte(`{}`), []json.RawMessage{[]byte(`{"a":1}{"b`), []byte(`":2}`)}) == base {
+		t.Fatal("shifting a payload boundary did not change the hash")
+	}
+	if GridHash("k", []byte(`{}`), payloads) != base {
+		t.Fatal("hash is not deterministic")
+	}
+}
+
+func TestSaveLoadCheckpointAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "campaign.ckpt")
+	c := sampleCheckpoint()
+	if err := SaveCheckpoint(path, c); err != nil {
+		t.Fatalf("SaveCheckpoint: %v", err)
+	}
+	// Overwrite with more rows, as a running campaign does.
+	c.Rows = append(c.Rows, CheckpointRow{Index: 1, Result: []byte(`{"cpi":0.75}`)})
+	if err := SaveCheckpoint(path, c); err != nil {
+		t.Fatalf("SaveCheckpoint (overwrite): %v", err)
+	}
+	got, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("LoadCheckpoint: %v", err)
+	}
+	if len(got.Rows) != 3 {
+		t.Fatalf("got %d rows, want 3", len(got.Rows))
+	}
+	// No temp droppings left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory has %d entries, want just the checkpoint", len(entries))
+	}
+	if _, err := LoadCheckpoint(filepath.Join(dir, "missing.ckpt")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("missing file: got %v, want ErrNotExist", err)
+	}
+}
+
+// FuzzCheckpointRoundTrip pins the decoder against arbitrary bytes: it
+// must never panic, and any input it accepts must re-encode to a stable
+// normal form (Encode∘Decode is idempotent after one normalization).
+func FuzzCheckpointRoundTrip(f *testing.F) {
+	good, err := sampleCheckpoint().Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	empty, err := (&Checkpoint{Kind: "k", GridHash: "h", N: 0}).Encode()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty)
+	f.Add([]byte{})
+	f.Add([]byte("garbage"))
+	f.Add(good[:len(good)/2])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := DecodeCheckpoint(data)
+		if err != nil {
+			return // rejected inputs just need to not panic
+		}
+		enc1, err := c.Encode()
+		if err != nil {
+			t.Fatalf("accepted checkpoint failed to encode: %v", err)
+		}
+		c2, err := DecodeCheckpoint(enc1)
+		if err != nil {
+			t.Fatalf("re-decode of normalized encoding failed: %v", err)
+		}
+		enc2, err := c2.Encode()
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if string(enc1) != string(enc2) {
+			t.Fatal("encode/decode/encode is not stable")
+		}
+	})
+}

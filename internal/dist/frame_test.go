@@ -1,0 +1,86 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := frame{Type: frameJob, Index: 7, Payload: []byte(`{"seed":42}`)}
+	if err := writeFrame(&buf, in); err != nil {
+		t.Fatalf("writeFrame: %v", err)
+	}
+	var out frame
+	if err := readFrame(&buf, &out); err != nil {
+		t.Fatalf("readFrame: %v", err)
+	}
+	if out.Type != in.Type || out.Index != in.Index || string(out.Payload) != string(in.Payload) {
+		t.Fatalf("round trip mismatch: %+v != %+v", out, in)
+	}
+	if err := readFrame(&buf, &out); err != io.EOF {
+		t.Fatalf("at frame boundary: got %v, want io.EOF", err)
+	}
+}
+
+func TestFrameSequence(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 5; i++ {
+		if err := writeFrame(&buf, frame{Type: frameResult, Index: i}); err != nil {
+			t.Fatalf("writeFrame %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		var f frame
+		if err := readFrame(&buf, &f); err != nil {
+			t.Fatalf("readFrame %d: %v", i, err)
+		}
+		if f.Index != i {
+			t.Fatalf("frame %d: got index %d", i, f.Index)
+		}
+	}
+}
+
+func TestFrameTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeFrame(&buf, frame{Type: framePing}); err != nil {
+		t.Fatalf("writeFrame: %v", err)
+	}
+	whole := buf.Bytes()
+	for cut := 1; cut < len(whole); cut++ {
+		var f frame
+		err := readFrame(bytes.NewReader(whole[:cut]), &f)
+		if err == nil || err == io.EOF {
+			t.Fatalf("truncated at %d/%d bytes: got %v, want unexpected-EOF error", cut, len(whole), err)
+		}
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("truncated at %d: error %v does not wrap io.ErrUnexpectedEOF", cut, err)
+		}
+	}
+}
+
+func TestFrameOversizedPrefixRejectedBeforeAllocation(t *testing.T) {
+	var prefix [4]byte
+	binary.BigEndian.PutUint32(prefix[:], uint32(maxFrame+1))
+	var f frame
+	err := readFrame(bytes.NewReader(prefix[:]), &f)
+	if !errors.Is(err, errFrameTooLarge) {
+		t.Fatalf("oversized prefix: got %v, want errFrameTooLarge", err)
+	}
+}
+
+func TestFrameGarbageBody(t *testing.T) {
+	var buf bytes.Buffer
+	body := []byte("not json")
+	var prefix [4]byte
+	binary.BigEndian.PutUint32(prefix[:], uint32(len(body)))
+	buf.Write(prefix[:])
+	buf.Write(body)
+	var f frame
+	if err := readFrame(&buf, &f); err == nil {
+		t.Fatal("garbage body decoded without error")
+	}
+}

@@ -1,0 +1,47 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+)
+
+// Runner executes one job of a registered kind: payload in, result out.
+// It runs in a worker subprocess (one job at a time) or in-process (the
+// local mode and the degradation path), so it must be safe for
+// concurrent calls and derive all randomness from the payload — the
+// determinism contract engine.Map established applies across the
+// process boundary unchanged.
+type Runner func(ctx context.Context, payload json.RawMessage) (json.RawMessage, error)
+
+// SetupFunc builds a kind's Runner from the grid's setup blob. It runs
+// once per worker process (and once per local run): register custom
+// workload profiles, build the per-process engine, parse tuning.
+type SetupFunc func(setup json.RawMessage) (Runner, error)
+
+var (
+	registryMu sync.Mutex
+	registry   = map[string]SetupFunc{} // guarded by registryMu
+)
+
+// Register installs the setup function for a job kind. Kinds are
+// registered from package init functions (internal/sim registers the
+// simulation kinds), so every binary that can supervise a grid can also
+// be re-invoked as its worker. Re-registering a kind replaces it.
+func Register(kind string, setup SetupFunc) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	registry[kind] = setup
+}
+
+// lookupKind returns the registered setup function for kind.
+func lookupKind(kind string) (SetupFunc, error) {
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	setup, ok := registry[kind]
+	if !ok {
+		return nil, fmt.Errorf("dist: job kind %q is not registered in this binary", kind)
+	}
+	return setup, nil
+}

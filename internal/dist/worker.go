@@ -1,0 +1,259 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// WorkerFlag is the hidden argv[1] that switches a command binary into
+// worker mode. It is matched before flag.Parse runs, so it never
+// appears in -help output; the supervisor is its only caller.
+const WorkerFlag = "-dist-worker"
+
+// protoVersion gates the supervisor↔worker frame protocol.
+const protoVersion = 1
+
+// Frame types. The supervisor sends hello, job and bye; the worker
+// sends ack, ping (heartbeat) and result.
+const (
+	frameHello  = "hello"
+	frameAck    = "ack"
+	frameJob    = "job"
+	frameResult = "result"
+	framePing   = "ping"
+	frameBye    = "bye"
+)
+
+// frame is the single wire message shape; Type selects which fields
+// are meaningful.
+type frame struct {
+	Type    string          `json:"type"`
+	Proto   int             `json:"proto,omitempty"`
+	Kind    string          `json:"kind,omitempty"`
+	Setup   json.RawMessage `json:"setup,omitempty"`
+	BeatNS  int64           `json:"beat_ns,omitempty"`
+	Index   int             `json:"index,omitempty"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+	Result  json.RawMessage `json:"result,omitempty"`
+	Err     string          `json:"err,omitempty"`
+}
+
+// Test-hook environment variables, read only in worker mode. They
+// exist so the supervision tests (and nothing else) can make a worker
+// misbehave deterministically: crash once, crash on every restart, or
+// wedge silently so the heartbeat timeout fires.
+const (
+	// envGen carries the worker's restart generation (set by the
+	// supervisor on every spawn; "0" is the first launch).
+	envGen = "LVDIST_GEN"
+	// envCrashIndex makes a generation-0 worker exit(3) when handed the
+	// given job index — restarted workers run it normally.
+	envCrashIndex = "LVDIST_TEST_CRASH_INDEX"
+	// envCrashEvery makes every generation crash on the given index,
+	// exhausting the restart budget.
+	envCrashEvery = "LVDIST_TEST_CRASH_EVERY"
+	// envWedgeIndex makes a generation-0 worker go silent (heartbeats
+	// included) when handed the given index, so supervision must kill it.
+	envWedgeIndex = "LVDIST_TEST_WEDGE_INDEX"
+)
+
+// MaybeWorkerMain turns the process into a dist worker when it was
+// spawned with WorkerFlag as its first argument, and returns otherwise.
+// Commands call it first thing in main, before flag.Parse, after their
+// job kinds are registered (internal/sim registers in init). A worker
+// never returns: it serves frames on stdin/stdout until told to stop,
+// then exits.
+func MaybeWorkerMain() {
+	if len(os.Args) < 2 || os.Args[1] != WorkerFlag {
+		return
+	}
+	// ^C goes to the whole foreground process group; draining is the
+	// supervisor's job, so workers ignore the interrupt and keep
+	// serving until the supervisor says bye (or kills them).
+	signal.Ignore(os.Interrupt)
+	os.Exit(workerMain(os.Stdin, os.Stdout, os.Getenv))
+}
+
+// workerState bundles the frame writer shared by the job loop and the
+// heartbeat goroutine.
+type workerState struct {
+	mu  sync.Mutex
+	out io.Writer // guarded by mu
+}
+
+func (w *workerState) send(f frame) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return writeFrame(w.out, f)
+}
+
+// workerMain is the worker protocol loop, factored off os.* for tests.
+// The exit code is 0 on a clean bye/EOF, nonzero on protocol errors.
+func workerMain(in io.Reader, out io.Writer, getenv func(string) string) int {
+	w := &workerState{out: out}
+
+	var hello frame
+	if err := readFrame(in, &hello); err != nil {
+		fmt.Fprintf(os.Stderr, "dist worker: handshake: %v\n", err)
+		return 1
+	}
+	if hello.Type != frameHello || hello.Proto != protoVersion {
+		// Err is best-effort: the supervisor may already be gone.
+		w.send(frame{Type: frameAck, Err: fmt.Sprintf("dist: unexpected handshake %q proto %d (want %q proto %d)", hello.Type, hello.Proto, frameHello, protoVersion)}) //lvlint:ignore errdrop the handshake failure is already the reported outcome
+		return 1
+	}
+	runner, err := buildRunner(hello.Kind, hello.Setup)
+	ackErr := ""
+	if err != nil {
+		ackErr = err.Error()
+	}
+	if err := w.send(frame{Type: frameAck, Err: ackErr}); err != nil {
+		fmt.Fprintf(os.Stderr, "dist worker: ack: %v\n", err)
+		return 1
+	}
+	if runner == nil {
+		return 1
+	}
+
+	// Heartbeats: prove the worker's runtime is alive while a job
+	// computes. A merely slow job keeps beating (per-run timeouts are
+	// the engine's job); a wedged or dead process goes silent and the
+	// supervisor's heartbeat timeout reaps it.
+	stopBeat := make(chan struct{})
+	var stopOnce sync.Once
+	stopHeartbeat := func() { stopOnce.Do(func() { close(stopBeat) }) }
+	var beatWG sync.WaitGroup
+	if hello.BeatNS > 0 {
+		beatWG.Add(1)
+		go func() {
+			defer beatWG.Done()
+			tick := time.NewTicker(time.Duration(hello.BeatNS))
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopBeat:
+					return
+				case <-tick.C:
+					if w.send(frame{Type: framePing}) != nil {
+						// The pipe is gone; the job loop will fail on
+						// its own write soon enough.
+						return
+					}
+				}
+			}
+		}()
+	}
+	defer beatWG.Wait()
+	defer stopHeartbeat()
+
+	gen := getenv(envGen)
+	for {
+		var f frame
+		err := readFrame(in, &f)
+		if err == io.EOF {
+			return 0
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dist worker: %v\n", err)
+			return 1
+		}
+		switch f.Type {
+		case frameBye:
+			return 0
+		case frameJob:
+			switch action, code := testHook(f.Index, gen, getenv); action {
+			case hookCrash:
+				return code
+			case hookWedge:
+				// Simulate a fully wedged runtime: stop the heartbeat
+				// goroutine, then block forever. A bare select{} would
+				// trip the runtime deadlock detector and exit — a ticker
+				// that never usefully fires keeps the process alive and
+				// silent until the supervisor's heartbeat timeout kills it.
+				stopHeartbeat()
+				beatWG.Wait()
+				wedge := time.NewTicker(time.Hour)
+				for range wedge.C {
+				}
+			}
+			res, jobErr := runJob2(runner, f.Payload)
+			rf := frame{Type: frameResult, Index: f.Index, Result: res}
+			if jobErr != nil {
+				rf.Err = jobErr.Error()
+				rf.Result = nil
+			}
+			if err := w.send(rf); err != nil {
+				fmt.Fprintf(os.Stderr, "dist worker: %v\n", err)
+				return 1
+			}
+		default:
+			// Unknown frame types from a newer supervisor are ignored,
+			// not fatal: the proto version already matched.
+		}
+	}
+}
+
+// buildRunner resolves the kind and runs its setup.
+func buildRunner(kind string, setup json.RawMessage) (Runner, error) {
+	setupFn, err := lookupKind(kind)
+	if err != nil {
+		return nil, err
+	}
+	runner, err := setupFn(setup)
+	if err != nil {
+		return nil, fmt.Errorf("dist: setup for kind %q: %w", kind, err)
+	}
+	return runner, nil
+}
+
+// runJob2 executes one job with panic containment: a panicking handler
+// reports a job error frame instead of tearing the worker down with an
+// opaque exit status.
+func runJob2(runner Runner, payload json.RawMessage) (res json.RawMessage, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("job panicked: %v", r)
+		}
+	}()
+	return runner(context.Background(), payload)
+}
+
+// Test-hook actions.
+const (
+	hookNone = iota
+	hookCrash
+	hookWedge
+)
+
+// testHook consults the crash/wedge environment hooks for one job
+// index. For hookCrash, code is the exit status to die with.
+func testHook(index int, gen string, getenv func(string) string) (action, code int) {
+	matches := func(env string) bool {
+		v := getenv(env)
+		if v == "" {
+			return false
+		}
+		i, err := strconv.Atoi(v)
+		return err == nil && i == index
+	}
+	if matches(envCrashEvery) {
+		return hookCrash, 3
+	}
+	if gen != "" && gen != "0" {
+		return hookNone, 0
+	}
+	if matches(envCrashIndex) {
+		return hookCrash, 3
+	}
+	if matches(envWedgeIndex) {
+		return hookWedge, 0
+	}
+	return hookNone, 0
+}

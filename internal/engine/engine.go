@@ -106,7 +106,7 @@ func MapTimeout[T any](ctx context.Context, p *Pool, n int, timeout time.Duratio
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	results, _, errs := runMap(ctx, p, n, timeout, fn)
+	results, _, errs := runMap(ctx, p, n, timeout, fn, nil)
 	if err := errors.Join(errs...); err != nil {
 		return nil, err
 	}
@@ -127,7 +127,20 @@ func MapTimeout[T any](ctx context.Context, p *Pool, n int, timeout time.Duratio
 // context.Canceled) are dropped from err: the failure that stopped the
 // run is already recorded.
 func MapPartial[T any](ctx context.Context, p *Pool, n int, timeout time.Duration, fn func(ctx context.Context, i int) (T, error)) (results []T, done []bool, err error) {
-	results, done, errs := runMap(ctx, p, n, timeout, fn)
+	return MapPartialNotify(ctx, p, n, timeout, fn, nil)
+}
+
+// MapPartialNotify is MapPartial with a completion hook for durable
+// progress (checkpoint flushing in internal/dist): notify(i), when
+// non-nil, is called from the job's goroutine strictly after results[i]
+// and done[i] are assigned, and never for a job that failed, timed out
+// or panicked — so a row observed by notify is exactly a row that will
+// read back done. notify runs concurrently from different jobs; the
+// callback synchronizes itself. A panic inside notify is contained like
+// a job panic (the run is cancelled and a *PanicError surfaced), but
+// the row's done flag remains true: the result itself was valid.
+func MapPartialNotify[T any](ctx context.Context, p *Pool, n int, timeout time.Duration, fn func(ctx context.Context, i int) (T, error), notify func(i int)) (results []T, done []bool, err error) {
+	results, done, errs := runMap(ctx, p, n, timeout, fn, notify)
 	kept := make([]error, 0, len(errs))
 	for _, e := range errs {
 		if e == nil || errors.Is(e, context.Canceled) {
@@ -141,9 +154,9 @@ func MapPartial[T any](ctx context.Context, p *Pool, n int, timeout time.Duratio
 	return results, done, err
 }
 
-// runMap is the shared scheduling core of Map, MapTimeout and
-// MapPartial.
-func runMap[T any](ctx context.Context, p *Pool, n int, timeout time.Duration, fn func(ctx context.Context, i int) (T, error)) (results []T, done []bool, errs []error) {
+// runMap is the shared scheduling core of Map, MapTimeout,
+// MapPartial and MapPartialNotify.
+func runMap[T any](ctx context.Context, p *Pool, n int, timeout time.Duration, fn func(ctx context.Context, i int) (T, error), notify func(i int)) (results []T, done []bool, errs []error) {
 	results = make([]T, n)
 	done = make([]bool, n)
 	errs = make([]error, n)
@@ -163,35 +176,73 @@ func runMap[T any](ctx context.Context, p *Pool, n int, timeout time.Duration, f
 			go func(i int) {
 				defer wg.Done()
 				defer func() { <-p.slots }()
-				defer func() {
-					if r := recover(); r != nil {
-						errs[i] = &PanicError{Value: r, Stack: debug.Stack()}
-						cancel()
-					}
-				}()
-				ictx := jobCtx
-				if timeout > 0 {
-					var icancel context.CancelFunc
-					ictx, icancel = context.WithTimeout(jobCtx, timeout)
-					defer icancel()
+				// The dispatch select chooses randomly when a free slot
+				// and the cancellation are both ready, so a job can be
+				// dispatched after a sibling already failed. A failing
+				// job cancels before it releases its slot, so by the
+				// time this goroutine holds that slot the cancellation
+				// is visible: treat the job as skipped — never run it,
+				// never mark it done — exactly like the dispatch-loop
+				// skip. Without this check a panic mid-grid raced the
+				// partial flush: later rows could still complete and be
+				// flushed in some runs but not others.
+				if jobCtx.Err() != nil {
+					return
 				}
-				v, err := fn(ictx, i)
+				v, err := runJob(jobCtx, i, timeout, fn)
 				if err != nil {
-					// Distinguish "this job's own deadline fired" from
-					// "a sibling failure or the caller cancelled us".
-					if timeout > 0 && errors.Is(err, context.DeadlineExceeded) &&
-						ictx.Err() == context.DeadlineExceeded && jobCtx.Err() == nil {
-						err = &TimeoutError{Index: i, Timeout: timeout}
-					}
+					// A job that failed — or panicked; runJob contains
+					// the panic as a *PanicError — never marks done, so
+					// a partial flush can never observe a row whose
+					// result slot was abandoned mid-write.
 					errs[i] = err
 					cancel()
 					return
 				}
 				results[i] = v
 				done[i] = true
+				if notify != nil {
+					defer func() {
+						if r := recover(); r != nil {
+							errs[i] = &PanicError{Value: r, Stack: debug.Stack()}
+							cancel()
+						}
+					}()
+					notify(i)
+				}
 			}(i)
 		}
 	}
 	wg.Wait()
 	return results, done, errs
+}
+
+// runJob executes one job with panic containment and the per-job
+// deadline. A panic in fn is returned as a *PanicError, so the caller
+// decides result visibility on the ordinary error path — the recover
+// can never race the results/done assignment, which happens strictly
+// after runJob returns.
+func runJob[T any](jobCtx context.Context, i int, timeout time.Duration, fn func(ctx context.Context, i int) (T, error)) (v T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			var zero T
+			v, err = zero, &PanicError{Value: r, Stack: debug.Stack()}
+		}
+	}()
+	ictx := jobCtx
+	if timeout > 0 {
+		var icancel context.CancelFunc
+		ictx, icancel = context.WithTimeout(jobCtx, timeout)
+		defer icancel()
+	}
+	v, err = fn(ictx, i)
+	if err != nil {
+		// Distinguish "this job's own deadline fired" from "a sibling
+		// failure or the caller cancelled us".
+		if timeout > 0 && errors.Is(err, context.DeadlineExceeded) &&
+			ictx.Err() == context.DeadlineExceeded && jobCtx.Err() == nil {
+			err = &TimeoutError{Index: i, Timeout: timeout}
+		}
+	}
+	return v, err
 }

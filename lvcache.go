@@ -75,6 +75,15 @@ type (
 	ChaosEpoch = sim.ChaosEpoch
 	// Residency is campaign time spent at one operating point.
 	Residency = sim.Residency
+	// RowSpec is one lvsim-style grid cell: a scheme × benchmark Monte
+	// Carlo evaluation at one operating point (Engine.EvalRow).
+	RowSpec = sim.RowSpec
+	// RowResult is the cell's Monte Carlo aggregate; its fields are
+	// exact-round-trip JSON types, so results are byte-stable across the
+	// distributed execution boundary (internal/dist).
+	RowResult = sim.RowResult
+	// DieSpec pins one die's DVFS-ladder sweep for distributed execution.
+	DieSpec = sim.DieSpec
 )
 
 // NewEngine returns an experiment engine bounded to the given worker
@@ -130,6 +139,14 @@ func Evaluate(cfg Config, schemes []Scheme, benchmarks []string, ops []Operating
 // construct one Engine with NewEngine and call its Evaluate instead.
 func EvaluateContext(ctx context.Context, cfg Config, schemes []Scheme, benchmarks []string, ops []OperatingPoint) ([]EvalCell, error) {
 	return sim.NewEngine(0).Evaluate(ctx, cfg, schemes, benchmarks, ops)
+}
+
+// EvalRow runs one Monte Carlo grid cell — a scheme × benchmark at one
+// Table II voltage, aggregated over fault maps — on a fresh
+// default-width engine. To share the memoized 760 mV baseline across
+// rows, construct one Engine with NewEngine and call its EvalRow.
+func EvalRow(ctx context.Context, spec RowSpec) (RowResult, error) {
+	return sim.NewEngine(0).EvalRow(ctx, spec)
 }
 
 // SweepDie evaluates one scheme on a single die across the DVFS ladder

@@ -101,3 +101,34 @@ t2=$(now_ms)
 printf '{\n  "lvlint_cold_ms": %s,\n  "lvlint_warm_ms": %s\n}\n' \
 	"$((t1 - t0))" "$((t2 - t1))" >"$out"
 echo "bench: wrote $out"
+
+# Fourth pass: the distributed-execution harness numbers.
+# BenchmarkShardOverhead runs the same near-free grid in-process and
+# under two worker subprocesses; their ratio is the fixed
+# spawn/handshake/framing cost a real sharded campaign amortizes over
+# expensive simulation rows, recorded as shard_overhead_ratio.
+# BenchmarkResumeLatency is the -resume startup cost on a finished
+# checkpoint (load + grid-hash verify + prefill + final flush),
+# recorded as resume_latency_ns_per_op.
+out=BENCH_dist.json
+go test -run '^$' -bench 'BenchmarkShardOverhead|BenchmarkResumeLatency' -benchtime "${BENCHTIME:-1x}" ./internal/dist/ | tee /dev/stderr | awk '
+	/^Benchmark/ {
+		name = $1; sub(/-[0-9]+$/, "", name)
+		if (!(name in ns)) order[n++] = name
+		ns[name] = $3
+	}
+	END {
+		local = "BenchmarkShardOverhead/local"
+		sharded = "BenchmarkShardOverhead/shards=2"
+		resume = "BenchmarkResumeLatency"
+		printf "{\n"
+		if ((local in ns) && (sharded in ns) && ns[local] > 0)
+			printf "  \"shard_overhead_ratio\": %.2f,\n", ns[sharded] / ns[local]
+		if (resume in ns)
+			printf "  \"resume_latency_ns_per_op\": %.0f,\n", ns[resume]
+		for (i = 0; i < n; i++)
+			printf "  \"%s\": {\"ns_per_op\": %s}%s\n", order[i], ns[order[i]], (i < n - 1 ? "," : "")
+		printf "}\n"
+	}
+' >"$out"
+echo "bench: wrote $out"

@@ -11,11 +11,12 @@
 #   test   — full unit/integration suite
 #   race   — race detector on the packages with shared mutable state
 #            (the run scheduler, the simulator fan-out, the cache model
-#            it drives, and the fault-injection/back-off layers the
-#            chaos campaigns exercise concurrently)
+#            it drives, the fault-injection/back-off layers the chaos
+#            campaigns exercise concurrently, and the distributed
+#            supervisor with its worker subprocesses)
 #   fuzz   — short campaigns on the fuzz targets (serialization, fault
-#            map mutation, FFW stored-pattern round trip); regressions
-#            land in the checked-in corpus
+#            map mutation, FFW stored-pattern round trip, checkpoint
+#            decode/encode); regressions land in the checked-in corpus
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -32,8 +33,8 @@ go run ./cmd/lvlint ./...
 echo '== go test ./...'
 go test ./...
 
-echo '== go test -race ./internal/engine/... ./internal/sim/... ./internal/cache/... ./internal/inject/... ./internal/dvfs/...'
-go test -race ./internal/engine/... ./internal/sim/... ./internal/cache/... ./internal/inject/... ./internal/dvfs/...
+echo '== go test -race ./internal/engine/... ./internal/sim/... ./internal/cache/... ./internal/inject/... ./internal/dvfs/... ./internal/dist/...'
+go test -race ./internal/engine/... ./internal/sim/... ./internal/cache/... ./internal/inject/... ./internal/dvfs/... ./internal/dist/...
 
 FUZZTIME="${FUZZTIME:-3s}"
 echo "== go test -fuzz (${FUZZTIME} each)"
@@ -41,5 +42,6 @@ go test -run '^$' -fuzz '^FuzzUnmarshalBinary$' -fuzztime "$FUZZTIME" ./internal
 go test -run '^$' -fuzz '^FuzzUnmarshalCompressed$' -fuzztime "$FUZZTIME" ./internal/faultmap/
 go test -run '^$' -fuzz '^FuzzMapMutation$' -fuzztime "$FUZZTIME" ./internal/faultmap/
 go test -run '^$' -fuzz '^FuzzWindowRoundTrip$' -fuzztime "$FUZZTIME" ./internal/ffw/
+go test -run '^$' -fuzz '^FuzzCheckpointRoundTrip$' -fuzztime "$FUZZTIME" ./internal/dist/
 
 echo 'verify: all gates passed'
