@@ -8,6 +8,8 @@
 //	lvsim -mv 400 -workers 2                   # bound the worker pool
 //	lvsim -mv 400 -shards 4 -checkpoint g.ckpt # sharded, crash-resumable
 //	lvsim -mv 400 -shards 4 -checkpoint g.ckpt -resume
+//	lvsim -hierarchy -cores 2 -mv 400          # event-driven multicore, shared L2
+//	lvsim -hierarchy -cores 2 -mvs 400,560     # per-core voltage domains
 package main
 
 import (
@@ -19,12 +21,15 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"text/tabwriter"
 
 	"repro/internal/cpu"
 	"repro/internal/dist"
 	"repro/internal/dvfs"
+	"repro/internal/hier"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -39,7 +44,7 @@ func main() {
 	log.SetPrefix("lvsim: ")
 	var (
 		scheme     = flag.String("scheme", "", "scheme to simulate (default: all); one of "+fmt.Sprint(sim.AllSchemes()))
-		bench      = flag.String("bench", "", "benchmark (default: all); one of "+fmt.Sprint(workload.Names()))
+		bench      = flag.String("bench", "", "comma-separated benchmarks (default: all); from "+fmt.Sprint(workload.Names()))
 		mv         = flag.Int("mv", 400, "operating voltage in mV (Table II point)")
 		n          = flag.Uint64("n", 400_000, "useful instructions per run")
 		maps       = flag.Int("maps", 5, "Monte Carlo fault maps per cell")
@@ -50,6 +55,10 @@ func main() {
 		shards     = flag.Int("shards", 0, "worker subprocesses for the grid (0 = in-process)")
 		checkpoint = flag.String("checkpoint", "", "durable checkpoint file for completed rows")
 		resume     = flag.Bool("resume", false, "resume completed rows from -checkpoint")
+		hierarchy  = flag.Bool("hierarchy", false, "event-driven multicore mode: -cores cores share a banked L2")
+		ncores     = flag.Int("cores", 2, "cores in -hierarchy mode (benchmarks round-robin across them)")
+		l2mv       = flag.Int("l2mv", 0, "uncore (shared L2) voltage in mV, -hierarchy mode (0 = nominal)")
+		mvs        = flag.String("mvs", "", "comma-separated per-core voltages in mV overriding -mv (-hierarchy mode)")
 	)
 	flag.Parse()
 	if *resume && *checkpoint == "" {
@@ -86,14 +95,32 @@ func main() {
 	}
 	benchmarks := workload.Names()
 	if *bench != "" {
-		if _, err := workload.ByName(*bench); err != nil {
-			log.Fatal(err)
+		benchmarks = nil
+		for _, b := range strings.Split(*bench, ",") {
+			b = strings.TrimSpace(b)
+			if _, err := workload.ByName(b); err != nil {
+				log.Fatal(err)
+			}
+			benchmarks = append(benchmarks, b)
 		}
-		benchmarks = []string{*bench}
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *hierarchy {
+		coreMVs, err := parseMVs(*mvs, *ncores, *mv)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runHierarchyGrid(ctx, hierGrid{
+			schemes: schemes, benchmarks: benchmarks, coreMVs: coreMVs,
+			l2mv: *l2mv, n: *n, maps: *maps, seed: *seed,
+			shards: *shards, checkpoint: *checkpoint, resume: *resume, workers: *workers,
+			setup: setup,
+		})
+		return
+	}
 
 	// Every (scheme, benchmark) row is one grid cell; the Monte Carlo
 	// loop inside a cell is sequential (sim.Engine.EvalRow). Results
@@ -160,4 +187,158 @@ func rowLine(spec sim.RowSpec, r sim.RowResult) string {
 	}
 	return fmt.Sprintf("%s\t%s\t%.3f\t%.3f\t%.1f\t%.3f\t%d",
 		spec.Scheme, spec.Benchmark, r.MeanCPI, r.MeanRuntimeMS, r.MeanL2PerKiloInstr, r.MeanNormEPI, r.YieldFails)
+}
+
+// parseMVs resolves the per-core voltage domains: an explicit comma
+// list names one Table II point per core; otherwise every core runs at
+// the -mv point.
+func parseMVs(list string, cores, def int) ([]int, error) {
+	if cores <= 0 {
+		return nil, fmt.Errorf("need a positive -cores, got %d", cores)
+	}
+	out := make([]int, cores)
+	if list == "" {
+		for i := range out {
+			out[i] = def
+		}
+		return out, nil
+	}
+	parts := strings.Split(list, ",")
+	if len(parts) != cores {
+		return nil, fmt.Errorf("-mvs names %d voltages for %d cores", len(parts), cores)
+	}
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("-mvs: %v", err)
+		}
+		if _, err := dvfs.PointAt(v); err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// hierGrid carries the -hierarchy mode's resolved parameters.
+type hierGrid struct {
+	schemes    []sim.Scheme
+	benchmarks []string
+	coreMVs    []int
+	l2mv       int
+	n          uint64
+	maps       int
+	seed       int64
+	shards     int
+	checkpoint string
+	resume     bool
+	workers    int
+	setup      sim.DistSetup
+}
+
+// runHierarchyGrid runs -maps Monte Carlo die sets per scheme through
+// the event-driven multicore model: each die set is one dist job (so
+// the grid shards and checkpoints like the trace grid), benchmarks
+// round-robin across the cores, and each core keeps its own voltage
+// domain. The report prints per-core means plus the shared L2's
+// contention ledger per scheme.
+func runHierarchyGrid(ctx context.Context, g hierGrid) {
+	cores := len(g.coreMVs)
+	specs := make([]sim.HierSpec, 0, len(g.schemes)*g.maps)
+	for _, s := range g.schemes {
+		for m := 0; m < g.maps; m++ {
+			hs := sim.HierSpec{Scheme: s, L2MV: g.l2mv, Instructions: g.n, CPU: cpu.DefaultConfig()}
+			for i := 0; i < cores; i++ {
+				hs.Cores = append(hs.Cores, sim.HierCoreSpec{
+					Benchmark: g.benchmarks[i%len(g.benchmarks)],
+					MV:        g.coreMVs[i],
+					MapSeed:   g.seed + int64(m*cores+i),
+					WorkSeed:  g.seed + int64(i),
+				})
+			}
+			specs = append(specs, hs)
+		}
+	}
+	setupJSON, err := json.Marshal(g.setup)
+	if err != nil {
+		log.Fatal(err)
+	}
+	payloads := make([]json.RawMessage, len(specs))
+	for i, s := range specs {
+		if payloads[i], err = json.Marshal(s); err != nil {
+			log.Fatal(err)
+		}
+	}
+	results, done, err := dist.Run(ctx, sim.KindHier, payloads, dist.Options{
+		Shards: g.shards, Checkpoint: g.checkpoint, Resume: g.resume,
+		Setup: setupJSON, LocalWorkers: g.workers,
+	})
+
+	l2op := dvfs.Nominal()
+	if g.l2mv != 0 {
+		if l2op, err = dvfs.PointAt(g.l2mv); err != nil {
+			log.Fatal(err)
+		}
+	}
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "scheme\tcore\tbenchmark\tmv\tCPI\truntime(ms)\tL2/1k-instr")
+	completed := 0
+	for si, s := range g.schemes {
+		type coreAgg struct {
+			cpi, ms, l2k float64
+			n            int
+		}
+		aggs := make([]coreAgg, cores)
+		var l2 hier.L2Stats
+		var events uint64
+		dies, yieldFails := 0, 0
+		for m := 0; m < g.maps; m++ {
+			idx := si*g.maps + m
+			if !done[idx] {
+				continue
+			}
+			completed++
+			var r sim.HierResult
+			if derr := json.Unmarshal(results[idx], &r); derr != nil {
+				log.Fatalf("die %d result: %v", idx, derr)
+			}
+			if r.YieldFail {
+				yieldFails++
+				continue
+			}
+			dies++
+			events += r.Events
+			l2 = l2.Add(r.L2)
+			for _, cr := range r.Cores {
+				op, perr := dvfs.PointAt(cr.MV)
+				if perr != nil {
+					log.Fatal(perr)
+				}
+				aggs[cr.Core].cpi += cr.Result.CPI()
+				aggs[cr.Core].ms += 1e3 * cr.Result.RuntimeSeconds(op.FreqMHz)
+				aggs[cr.Core].l2k += cr.Result.L2PerKiloInstr()
+				aggs[cr.Core].n++
+			}
+		}
+		for i, a := range aggs {
+			spec := specs[si*g.maps].Cores[i]
+			if a.n == 0 {
+				fmt.Fprintf(w, "%s\t%d\t%s\t%d\t-\t-\t-\n", s, i, spec.Benchmark, spec.MV)
+				continue
+			}
+			fmt.Fprintf(w, "%s\t%d\t%s\t%d\t%.3f\t%.3f\t%.1f\n",
+				s, i, spec.Benchmark, spec.MV,
+				a.cpi/float64(a.n), a.ms/float64(a.n), a.l2k/float64(a.n))
+		}
+		fmt.Fprintf(w, "%s\tL2\t%dmV\t\treads %d\tmerges %d\tmean-read-wait %.2fcy\tdies %d\tyield-fails %d\tevents %d\n",
+			s, l2op.VoltageMV, l2.Reads, l2.Merges, l2.MeanReadWaitCycles(l2op), dies, yieldFails, events)
+	}
+	w.Flush()
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			log.Printf("interrupted after %d/%d die sets", completed, len(specs))
+			os.Exit(1)
+		}
+		log.Fatal(err)
+	}
 }

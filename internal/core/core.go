@@ -85,20 +85,62 @@ func MemLatencyCycles(freqMHz float64) int {
 // schemes; eight block-granularity entries is a typical embedded sizing.
 const WriteBufferEntries = 8
 
-// NextLevel models everything below the L1s: the shared unified L2, the
-// coalescing write buffer in front of it, and main memory. Both L1
-// caches of a core reference one NextLevel.
-type NextLevel struct {
-	l2         *cache.Cache
-	memLatency int // cycles
+// Lower is the memory system below a core's write buffer: it serves
+// block-granularity demand reads and absorbs coalesced block writes.
+// The default backend is the inline per-core L2-plus-memory model the
+// paper describes; the event-driven hierarchy (package hier) swaps in a
+// port-backed shim so every L1 scheme runs unchanged against a shared,
+// contended L2 — schemes only ever see NextLevel.
+type Lower interface {
+	// ReadBlock performs a demand read of the block containing addr and
+	// returns the observed latency in core cycles beyond the L1, plus
+	// whether the L2 hit.
+	ReadBlock(addr uint64) (latency int, l2Hit bool)
+	// WriteBlock absorbs one coalesced block write. forRead marks a
+	// drain forced by a demand read to the same block (write-buffer
+	// forwarding): the contents must land so the read observes them,
+	// but no bandwidth is charged — the data came from the buffer.
+	WriteBlock(block uint64, forRead bool)
+}
 
-	memReads   uint64
-	wordWrites uint64 // write-through store traffic in words
-	drains     uint64 // block-granularity L2 writes after coalescing
+// NextLevel models everything above the Lower backend from the L1s'
+// point of view: the coalescing write buffer and the demand/store
+// traffic ledgers. Both L1 caches of a core reference one NextLevel.
+type NextLevel struct {
+	l2         *cache.Cache // inline L2 of the default backend; nil with a custom Lower
+	lower      Lower
+	memLatency int // cycles; 0 with a custom Lower
+
+	demandReads uint64
+	memReads    uint64
+	wordWrites  uint64 // write-through store traffic in words
+	drains      uint64 // block-granularity L2 writes after coalescing
 
 	// Coalescing write buffer: FIFO of block addresses with pending
 	// stores. A store to a buffered block merges for free.
 	wb []uint64
+}
+
+// l2Memory is the default Lower: the paper's private 512 KB write-back
+// L2 over a fixed-cycle-latency memory.
+type l2Memory struct {
+	l2         *cache.Cache
+	memLatency int
+}
+
+func (m *l2Memory) ReadBlock(addr uint64) (int, bool) {
+	res := m.l2.Access(addr, false)
+	latency := m.l2.Config().HitLatency
+	if !res.Hit {
+		latency += m.memLatency
+		// A dirty victim writes back to memory off the critical path; it
+		// costs bandwidth, not load-use latency.
+	}
+	return latency, res.Hit
+}
+
+func (m *l2Memory) WriteBlock(block uint64, _ bool) {
+	m.l2.Access(block*cache.BlockBytes, true)
 }
 
 // NewNextLevel builds the paper's 512 KB/8-way/10-cycle write-back L2
@@ -108,14 +150,32 @@ func NewNextLevel(memLatencyCycles int) *NextLevel {
 		//lvlint:ignore nopanic documented constructor guard: latency is a static config decision, not runtime input
 		panic(fmt.Sprintf("core: memory latency %d cycles must be >= 1", memLatencyCycles))
 	}
+	l2 := cache.MustNew(cache.L2Config())
 	return &NextLevel{
-		l2:         cache.MustNew(cache.L2Config()),
+		l2:         l2,
+		lower:      &l2Memory{l2: l2, memLatency: memLatencyCycles},
 		memLatency: memLatencyCycles,
 		wb:         make([]uint64, 0, WriteBufferEntries),
 	}
 }
 
-// L2 exposes the underlying L2 simulator (read-only use intended).
+// NewNextLevelOver builds a NextLevel whose demand and drain traffic is
+// served by the given backend instead of the inline L2 — the seam the
+// event-driven hierarchy plugs its shared-L2 ports into. The write
+// buffer and all traffic ledgers behave identically to NewNextLevel.
+func NewNextLevelOver(lower Lower) *NextLevel {
+	if lower == nil {
+		//lvlint:ignore nopanic documented constructor guard: the backend is a static wiring decision, not runtime input
+		panic("core: nil Lower backend")
+	}
+	return &NextLevel{
+		lower: lower,
+		wb:    make([]uint64, 0, WriteBufferEntries),
+	}
+}
+
+// L2 exposes the inline L2 simulator of the default backend (read-only
+// use intended); nil when a custom Lower serves the traffic.
 func (n *NextLevel) L2() *cache.Cache { return n.l2 }
 
 // MemLatency returns the configured memory latency in cycles.
@@ -131,25 +191,23 @@ func (n *NextLevel) ReadBlock(addr uint64) (latency int, l2Hit bool) {
 	for i, b := range n.wb {
 		if b == block {
 			n.wb = append(n.wb[:i], n.wb[i+1:]...)
-			n.drain(block)
+			n.drain(block, true)
 			break
 		}
 	}
-	res := n.l2.Access(addr, false)
-	latency = n.l2.Config().HitLatency
-	if !res.Hit {
-		latency += n.memLatency
+	n.demandReads++
+	latency, l2Hit = n.lower.ReadBlock(addr)
+	if !l2Hit {
 		n.memReads++
-		// A dirty victim writes back to memory off the critical path; it
-		// costs bandwidth, not load-use latency.
 	}
-	return latency, res.Hit
+	return latency, l2Hit
 }
 
-// drain writes one buffered block into the L2.
-func (n *NextLevel) drain(block uint64) {
+// drain writes one buffered block into the backend; forRead marks the
+// read-forced (forwarding) case.
+func (n *NextLevel) drain(block uint64, forRead bool) {
 	n.drains++
-	n.l2.Access(block*cache.BlockBytes, true)
+	n.lower.WriteBlock(block, forRead)
 }
 
 // WriteWord absorbs one word of write-through store traffic into the
@@ -170,14 +228,15 @@ func (n *NextLevel) WriteWord(addr uint64) {
 	if len(n.wb) >= WriteBufferEntries {
 		oldest := n.wb[0]
 		n.wb = n.wb[1:]
-		n.drain(oldest)
+		n.drain(oldest, false)
 	}
 	n.wb = append(n.wb, block)
 }
 
-// DemandReads returns the number of demand read accesses the L2 has
-// served (Figure 11's numerator).
-func (n *NextLevel) DemandReads() uint64 { return n.l2.Stats().Reads }
+// DemandReads returns the number of demand read accesses sent below
+// the L1s (Figure 11's numerator). Each ReadBlock issues exactly one,
+// so for the default backend this equals the inline L2's read count.
+func (n *NextLevel) DemandReads() uint64 { return n.demandReads }
 
 // MemReads returns the number of reads that went past the L2 to memory.
 func (n *NextLevel) MemReads() uint64 { return n.memReads }

@@ -128,6 +128,23 @@ func Run(cfg Config, s *workload.Stream, ic core.InstrCache, dc core.DataCache, 
 // Result accumulated so far). Used by campaign drivers to enforce
 // per-job timeouts.
 func RunContext(ctx context.Context, cfg Config, s *workload.Stream, ic core.InstrCache, dc core.DataCache, next *core.NextLevel, n uint64) (Result, error) {
+	return RunClocked(ctx, cfg, s, ic, dc, next, n, nil)
+}
+
+// Clock observes the run's cycle count as it advances. The event-driven
+// hierarchy (package hier) uses it to place the core's memory requests
+// on the simulated timeline; the trace-driven path passes nil and pays
+// nothing but a branch per instruction.
+type Clock interface {
+	// Advance reports the core's total cycle count so far, once per
+	// instruction just before it issues. Monotonically non-decreasing.
+	Advance(cycles float64)
+}
+
+// RunClocked is RunContext with an optional per-instruction clock hook
+// (nil for none). Identical timing and statistics either way: the hook
+// observes the run, it does not perturb it.
+func RunClocked(ctx context.Context, cfg Config, s *workload.Stream, ic core.InstrCache, dc core.DataCache, next *core.NextLevel, n uint64, clk Clock) (Result, error) {
 	if cfg.Width < 1 {
 		return Result{}, fmt.Errorf("cpu: width %d", cfg.Width)
 	}
@@ -145,6 +162,9 @@ func RunContext(ctx context.Context, cfg Config, s *workload.Stream, ic core.Ins
 			if err := ctx.Err(); err != nil {
 				return r, err
 			}
+		}
+		if clk != nil {
+			clk.Advance(r.Cycles())
 		}
 		in := s.Next()
 		r.Executed++

@@ -1,0 +1,29 @@
+package event
+
+import "testing"
+
+// BenchmarkEventKernel measures raw scheduler throughput: a chain of
+// self-rescheduling events with same-tick collisions, the pattern the
+// memory hierarchy generates. bench.sh derives events/sec from the
+// per-op cost (one op = one event).
+func BenchmarkEventKernel(b *testing.B) {
+	e := NewEngine()
+	remaining := b.N
+	var chain Handler
+	chain = func(at Time) error {
+		if remaining == 0 {
+			return nil
+		}
+		remaining--
+		e.Schedule(at+Time(remaining%3), chain)
+		return nil
+	}
+	b.ResetTimer()
+	e.Schedule(0, chain)
+	if err := e.Run(); err != nil {
+		b.Fatal(err)
+	}
+	if e.Processed() != uint64(b.N)+1 {
+		b.Fatalf("processed %d events, want %d", e.Processed(), b.N+1)
+	}
+}

@@ -1,0 +1,179 @@
+package hier
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/dvfs"
+	"repro/internal/event"
+	"repro/internal/workload"
+)
+
+// coreSpaceBytes slices the physical address space per core: each
+// core's L2 traffic is offset into its own block-aligned region, so
+// cores contend for L2 capacity, banks and MSHRs without sharing data
+// (no coherence protocol is modelled).
+const coreSpaceBytes = 1 << 44
+
+// Config sizes one hierarchy.
+type Config struct {
+	// Cores is the number of core components sharing the L2.
+	Cores int
+	// L2 configures the shared L2, the DRAM latency and the links.
+	L2 L2Params
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Cores < 1 {
+		return fmt.Errorf("hier: %d cores", c.Cores)
+	}
+	return c.L2.Validate()
+}
+
+// RigBuilder constructs one core's L1 scheme caches and instruction
+// stream over the provided next level — the exact builder signature the
+// trace-driven path uses, so internal/sim reuses its scheme
+// construction (fault maps, BBR link, injectors) verbatim.
+type RigBuilder func(next *core.NextLevel) (core.InstrCache, core.DataCache, *workload.Stream, error)
+
+// Hierarchy is one wired instance: N cores, a shared L2, a DRAM, and
+// their isolated engine.
+type Hierarchy struct {
+	eng   *event.Engine
+	cores []*Core
+	l2    *SharedL2
+	dram  *DRAM
+}
+
+// New builds and wires a hierarchy. Cores have no rigs yet; call
+// SetRig for each before RunEpoch.
+func New(cfg Config) (*Hierarchy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	eng := event.NewEngine()
+	h := &Hierarchy{
+		eng:  eng,
+		l2:   newSharedL2(eng, cfg.L2, cfg.Cores),
+		dram: newDRAM(eng, event.FromNS(cfg.L2.DRAMLatencyNS)),
+	}
+	if err := event.Connect(h.l2.dreq, h.dram.req, 0); err != nil {
+		return nil, err
+	}
+	if err := event.Connect(h.dram.resp, h.l2.dresp, 0); err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.Cores; i++ {
+		c := &Core{
+			id:     i,
+			name:   fmt.Sprintf("core%d", i),
+			eng:    eng,
+			offset: uint64(i) * coreSpaceBytes,
+		}
+		c.req = event.NewPort[MemReq](eng, c, "mem-req")
+		c.resp = event.NewPort[MemResp](eng, c, "mem-resp")
+		c.resp.OnRecv = c.recvResp
+		if err := event.Connect(c.req, h.l2.fromCore[i], cfg.L2.LinkLatency); err != nil {
+			return nil, err
+		}
+		if err := event.Connect(h.l2.toCore[i], c.resp, cfg.L2.LinkLatency); err != nil {
+			return nil, err
+		}
+		h.cores = append(h.cores, c)
+	}
+	return h, nil
+}
+
+// Cores returns the core count.
+func (h *Hierarchy) Cores() int { return len(h.cores) }
+
+// Now returns the engine's current simulation time.
+func (h *Hierarchy) Now() event.Time { return h.eng.Now() }
+
+// Events returns the total events processed (throughput accounting).
+func (h *Hierarchy) Events() uint64 { return h.eng.Processed() }
+
+// L2Stats returns the shared L2's cumulative contention ledger.
+func (h *Hierarchy) L2Stats() L2Stats { return h.l2.Stats() }
+
+// DramReads returns the fills DRAM served.
+func (h *Hierarchy) DramReads() uint64 { return h.dram.Reads() }
+
+// CoreOp returns core i's current operating point.
+func (h *Hierarchy) CoreOp(i int) dvfs.OperatingPoint { return h.cores[i].op }
+
+// SetRig (re)equips core i for the given operating point: a fresh
+// write buffer over the core's port shim, then the scheme caches and
+// stream from the builder. Voltage transitions in chaos campaigns call
+// this per segment — L2 contents persist, core-side state is rebuilt,
+// matching the trace-driven campaign's mode-switch semantics.
+func (h *Hierarchy) SetRig(i int, op dvfs.OperatingPoint, cfg cpu.Config, build RigBuilder) error {
+	if i < 0 || i >= len(h.cores) {
+		return fmt.Errorf("hier: core %d of %d", i, len(h.cores))
+	}
+	if op.FreqMHz <= 0 {
+		return fmt.Errorf("hier: core %d frequency %v MHz", i, op.FreqMHz)
+	}
+	c := h.cores[i]
+	next := core.NewNextLevelOver(c)
+	ic, dc, stream, err := build(next)
+	if err != nil {
+		return err
+	}
+	c.op, c.period = op, event.PeriodOf(op.FreqMHz)
+	c.cfg, c.ic, c.dc, c.next, c.stream = cfg, ic, dc, next, stream
+	return nil
+}
+
+// RunEpoch runs every core for n useful instructions and returns the
+// per-core results in core order. Cores start together at the current
+// engine time (a barrier between epochs) and finish independently; the
+// epoch ends when the event queue drains. On error the hierarchy is
+// torn down deterministically (all coroutines unwound, queue cleared)
+// and is safe to abandon, not to reuse.
+func (h *Hierarchy) RunEpoch(ctx context.Context, n uint64) ([]cpu.Result, error) {
+	if n == 0 {
+		return nil, fmt.Errorf("hier: zero instructions requested")
+	}
+	for i, c := range h.cores {
+		if c.ic == nil {
+			return nil, fmt.Errorf("hier: core %d has no rig", i)
+		}
+	}
+	for _, c := range h.cores {
+		c.startEpoch(ctx, n)
+	}
+	for {
+		ok, err := h.eng.Step()
+		if err != nil {
+			h.abort()
+			return nil, err
+		}
+		if !ok {
+			break
+		}
+	}
+	results := make([]cpu.Result, len(h.cores))
+	for i, c := range h.cores {
+		if !c.done {
+			h.abort()
+			return nil, fmt.Errorf("hier: core %d stalled — event queue drained mid-epoch", i)
+		}
+		results[i] = c.result
+	}
+	return results, nil
+}
+
+// abort unwinds every live coroutine and clears the queue.
+func (h *Hierarchy) abort() {
+	h.eng.Clear()
+	for _, c := range h.cores {
+		if c.resume != nil && !c.done {
+			c.done = true
+			c.stop()
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package hier_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/cpu"
+	"repro/internal/dvfs"
+	"repro/internal/event"
+	"repro/internal/hier"
+	"repro/internal/program"
+	"repro/internal/schemes"
+	"repro/internal/workload"
+)
+
+// dfRig builds a defect-free rig — scheme construction without
+// importing internal/sim (which imports this package's caller side).
+func dfRig(t *testing.T, bench string, seed int64) hier.RigBuilder {
+	t.Helper()
+	return func(next *core.NextLevel) (core.InstrCache, core.DataCache, *workload.Stream, error) {
+		prof, err := workload.ByName(bench)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		prog, err := workload.BuildProgram(prof, seed, nil)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		layout := program.NewSequentialLayout(prog, 0)
+		stream := workload.NewStream(prof, prog, layout, seed)
+		return schemes.NewDefectFree(next), schemes.NewDefectFree(next), stream, nil
+	}
+}
+
+func newHier(t *testing.T, cores int, p hier.L2Params) *hier.Hierarchy {
+	t.Helper()
+	h, err := hier.New(hier.Config{Cores: cores, L2: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < cores; i++ {
+		if err := h.SetRig(i, dvfs.Nominal(), cpu.DefaultConfig(), dfRig(t, "qsort", 1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return h
+}
+
+func TestSingleCoreRunCompletes(t *testing.T) {
+	h := newHier(t, 1, hier.DefaultL2Params(dvfs.Nominal()))
+	const n = 20_000
+	res, err := h.RunEpoch(context.Background(), n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Instructions != n {
+		t.Fatalf("results %+v", res)
+	}
+	s := h.L2Stats()
+	if s.Reads != res[0].L2Reads {
+		t.Errorf("L2 saw %d reads, core issued %d", s.Reads, res[0].L2Reads)
+	}
+	if s.DramReads != h.DramReads() {
+		t.Errorf("L2 issued %d fills, DRAM served %d", s.DramReads, h.DramReads())
+	}
+	if res[0].MemReads < s.DramReads {
+		t.Errorf("core mem reads %d < DRAM fills %d", res[0].MemReads, s.DramReads)
+	}
+	if h.Now() == 0 || h.Events() == 0 {
+		t.Error("engine did not advance")
+	}
+}
+
+func TestRunsAreDeterministic(t *testing.T) {
+	run := func() ([]cpu.Result, hier.L2Stats, event.Time) {
+		h := newHier(t, 3, hier.DefaultL2Params(dvfs.Nominal()))
+		res, err := h.RunEpoch(context.Background(), 15_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, h.L2Stats(), h.Now()
+	}
+	r1, s1, t1 := run()
+	r2, s2, t2 := run()
+	if !reflect.DeepEqual(r1, r2) {
+		t.Errorf("per-core results diverged:\n%+v\n%+v", r1, r2)
+	}
+	if s1 != s2 {
+		t.Errorf("L2 stats diverged:\n%+v\n%+v", s1, s2)
+	}
+	if t1 != t2 {
+		t.Errorf("end times diverged: %d vs %d", t1, t2)
+	}
+}
+
+func TestMultiCoreSharesTheL2(t *testing.T) {
+	h := newHier(t, 2, hier.DefaultL2Params(dvfs.Nominal()))
+	res, err := h.RunEpoch(context.Background(), 15_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := h.L2Stats()
+	if want := res[0].L2Reads + res[1].L2Reads; s.Reads != want {
+		t.Errorf("L2 reads %d, cores issued %d", s.Reads, want)
+	}
+	if s.BankWaitFS < 0 || s.MSHRWaitFS < 0 {
+		t.Errorf("negative waits: %+v", s)
+	}
+	if s.MeanReadWaitCycles(dvfs.Nominal()) < 0 {
+		t.Error("negative mean wait")
+	}
+}
+
+func TestHeterogeneousDomainsRun(t *testing.T) {
+	low, err := dvfs.PointAt(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := hier.New(hier.Config{Cores: 2, L2: hier.DefaultL2Params(dvfs.Nominal())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetRig(0, dvfs.Nominal(), cpu.DefaultConfig(), dfRig(t, "qsort", 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetRig(1, low, cpu.DefaultConfig(), dfRig(t, "dijkstra", 2)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.RunEpoch(context.Background(), 10_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Instructions != 10_000 || res[1].Instructions != 10_000 {
+		t.Fatalf("instruction counts %+v", res)
+	}
+	if h.CoreOp(1).VoltageMV != 400 {
+		t.Errorf("core 1 domain %d mV", h.CoreOp(1).VoltageMV)
+	}
+}
+
+func TestEpochsContinueTheStream(t *testing.T) {
+	h := newHier(t, 1, hier.DefaultL2Params(dvfs.Nominal()))
+	r1, err := h.RunEpoch(context.Background(), 8_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid := h.Now()
+	r2, err := h.RunEpoch(context.Background(), 8_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Now() <= mid {
+		t.Errorf("time did not advance across epochs: %d -> %d", mid, h.Now())
+	}
+	// The second epoch continues a warmed-up stream and caches: it must
+	// not replay the first epoch's cold-start behaviour.
+	if r1[0].L2Reads <= r2[0].L2Reads {
+		t.Logf("note: warm epoch issued %d L2 reads vs cold %d", r2[0].L2Reads, r1[0].L2Reads)
+	}
+	if r2[0].Instructions != 8_000 {
+		t.Errorf("epoch 2 ran %d instructions", r2[0].Instructions)
+	}
+}
+
+func TestLinkLatencySlowsMisses(t *testing.T) {
+	run := func(link event.Time) float64 {
+		p := hier.DefaultL2Params(dvfs.Nominal())
+		p.LinkLatency = link
+		h := newHier(t, 1, p)
+		res, err := h.RunEpoch(context.Background(), 10_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res[0].Cycles()
+	}
+	fast := run(0)
+	slow := run(5 * event.PeriodOf(dvfs.Nominal().FreqMHz))
+	if slow <= fast {
+		t.Errorf("5-cycle links did not slow the run: %v vs %v cycles", slow, fast)
+	}
+}
+
+func TestCancelledContextAborts(t *testing.T) {
+	h := newHier(t, 2, hier.DefaultL2Params(dvfs.Nominal()))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := h.RunEpoch(ctx, 10_000); err == nil {
+		t.Fatal("cancelled epoch returned no error")
+	}
+}
+
+func TestMisuseIsRejected(t *testing.T) {
+	if _, err := hier.New(hier.Config{Cores: 0, L2: hier.DefaultL2Params(dvfs.Nominal())}); err == nil {
+		t.Error("0 cores accepted")
+	}
+	bad := hier.DefaultL2Params(dvfs.Nominal())
+	bad.MSHRs = 0
+	if _, err := hier.New(hier.Config{Cores: 1, L2: bad}); err == nil {
+		t.Error("0 MSHRs accepted")
+	}
+	h, err := hier.New(hier.Config{Cores: 1, L2: hier.DefaultL2Params(dvfs.Nominal())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.RunEpoch(context.Background(), 1000); err == nil {
+		t.Error("epoch without a rig accepted")
+	}
+	if err := h.SetRig(5, dvfs.Nominal(), cpu.DefaultConfig(), dfRig(t, "qsort", 1)); err == nil {
+		t.Error("out-of-range core accepted")
+	}
+}

@@ -252,46 +252,58 @@ func (e *Engine) RunChaos(ctx context.Context, spec ChaosSpec) (*ChaosResult, er
 func buildChaosRig(spec ChaosSpec, prof workload.Profile, prog *program.Program,
 	op dvfs.OperatingPoint, seriesI, seriesD *faultmap.Series, seg int) (*chaosRig, error) {
 
-	fmI, fmD := seriesI.MapAt(op.PfailBit), seriesD.MapAt(op.PfailBit)
 	next := core.NewNextLevel(core.MemLatencyCycles(op.FreqMHz))
+	ic, dc, stream, err := buildChaosRigOn(spec.Inject, spec.WorkSeed, 0, prof, prog, op, seriesI, seriesD, seg, next)
+	if err != nil {
+		return nil, err
+	}
+	return &chaosRig{ic: ic, dc: dc, next: next, stream: stream}, nil
+}
+
+// buildChaosRigOn is buildChaosRig over a caller-provided next level —
+// the shared path between single-core campaigns (inline L2) and
+// hierarchy campaigns (port-backed shared L2). coreSalt decorrelates
+// injector streams across a hierarchy's cores; 0 for single-core,
+// preserving the historical seeds bit for bit.
+func buildChaosRigOn(inj inject.Params, workSeed, coreSalt int64, prof workload.Profile, prog *program.Program,
+	op dvfs.OperatingPoint, seriesI, seriesD *faultmap.Series, seg int, next *core.NextLevel) (*bbr.ICache, *ffw.Cache, *workload.Stream, error) {
+
+	fmI, fmD := seriesI.MapAt(op.PfailBit), seriesD.MapAt(op.PfailBit)
 
 	layout, err := bbr.Link(prog, fmI, 0)
 	if err != nil {
 		if errors.Is(err, bbr.ErrUnplaceable) {
-			return nil, fmt.Errorf("%w: %v", ErrYield, err)
+			return nil, nil, nil, fmt.Errorf("%w: %v", ErrYield, err)
 		}
-		return nil, err
+		return nil, nil, nil, err
 	}
 
 	ic, err := bbr.NewICache(fmI, next)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	opts := ffw.Options{}
-	if spec.Inject.Enabled() {
-		// Per-segment injector seeds: distinct per voltage segment and
-		// per cache side, derived only from spec seeds and the segment
-		// ordinal — never from scheduling.
-		base := spec.Inject.Seed + int64(seg)*7919
-		injI, ierr := inject.New(l1Words, op.VoltageMV, spec.Inject.WithSeed(base*2+21))
+	if inj.Enabled() {
+		// Per-segment injector seeds: distinct per voltage segment, per
+		// core and per cache side, derived only from spec seeds and the
+		// segment ordinal — never from scheduling.
+		base := inj.Seed + coreSalt + int64(seg)*7919
+		injI, ierr := inject.New(l1Words, op.VoltageMV, inj.WithSeed(base*2+21))
 		if ierr != nil {
-			return nil, ierr
+			return nil, nil, nil, ierr
 		}
-		injD, derr := inject.New(l1Words, op.VoltageMV, spec.Inject.WithSeed(base*2+22))
+		injD, derr := inject.New(l1Words, op.VoltageMV, inj.WithSeed(base*2+22))
 		if derr != nil {
-			return nil, derr
+			return nil, nil, nil, derr
 		}
 		ic.AttachInjector(injI)
 		opts.Injector = injD
 	}
 	dc, err := ffw.New(fmD, next, opts)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
-	return &chaosRig{
-		ic: ic, dc: dc, next: next,
-		stream: workload.NewStream(prof, prog, layout, spec.WorkSeed),
-	}, nil
+	return ic, dc, workload.NewStream(prof, prog, layout, workSeed), nil
 }
 
 // residency folds epochs into the effective-voltage histogram, highest

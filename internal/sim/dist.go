@@ -30,6 +30,12 @@ const (
 	KindChaos = "sim.chaos"
 	// KindDie is lvdie's unit: one die's full DVFS-ladder sweep.
 	KindDie = "sim.die"
+	// KindHier is lvsim -hierarchy's unit: one event-driven multicore
+	// run (one Monte Carlo die set).
+	KindHier = "sim.hier"
+	// KindHierChaos is lvchaos -hierarchy's unit: one multicore
+	// fault-injection campaign.
+	KindHierChaos = "sim.hierchaos"
 )
 
 // DistSetup is the per-process configuration shipped to every worker
@@ -51,34 +57,54 @@ type DistSetup struct {
 	Profiles []json.RawMessage `json:"profiles,omitempty"`
 }
 
-// distEngine builds the per-process engine a kind's jobs share: custom
-// profiles registered (tolerating ones the host process already
-// registered, as in-process execution after a -profile flag has), pool
-// bounded, run timeout applied.
-func distEngine(setup json.RawMessage, runTimeout bool) (*Engine, error) {
+// parseDistSetup decodes the per-process setup and registers its custom
+// workload profiles (tolerating ones the host process already
+// registered, as in-process execution after a -profile flag has). Kinds
+// that don't need a sim Engine — the event-driven hierarchy runners —
+// use it directly.
+func parseDistSetup(setup json.RawMessage) (DistSetup, error) {
 	var ds DistSetup
 	if len(setup) > 0 {
 		if err := json.Unmarshal(setup, &ds); err != nil {
-			return nil, fmt.Errorf("sim: dist setup: %w", err)
+			return DistSetup{}, fmt.Errorf("sim: dist setup: %w", err)
 		}
 	}
 	for _, raw := range ds.Profiles {
 		p, err := workload.FromJSON(raw)
 		if err != nil {
-			return nil, err
+			return DistSetup{}, err
 		}
 		if _, err := workload.ByName(p.Name); err == nil {
 			continue // already registered in this process
 		}
 		if err := workload.Register(p); err != nil {
-			return nil, err
+			return DistSetup{}, err
 		}
+	}
+	return ds, nil
+}
+
+// distEngine builds the per-process engine a kind's jobs share: custom
+// profiles registered, pool bounded, run timeout applied.
+func distEngine(setup json.RawMessage, runTimeout bool) (*Engine, error) {
+	ds, err := parseDistSetup(setup)
+	if err != nil {
+		return nil, err
 	}
 	eng := NewEngine(ds.Workers)
 	if runTimeout {
 		eng.SetJobTimeout(time.Duration(ds.TimeoutNS))
 	}
 	return eng, nil
+}
+
+// jobTimeout wraps ctx with the setup's per-unit timeout when one is
+// configured; the returned cancel must always be called.
+func (ds DistSetup) jobTimeout(ctx context.Context) (context.Context, context.CancelFunc) {
+	if ds.TimeoutNS > 0 {
+		return context.WithTimeout(ctx, time.Duration(ds.TimeoutNS))
+	}
+	return context.WithCancel(ctx)
 }
 
 // RowSpec is one lvsim grid cell: a scheme × benchmark Monte Carlo
@@ -195,22 +221,17 @@ func init() {
 		if err != nil {
 			return nil, err
 		}
-		var ds DistSetup
-		if len(setup) > 0 {
-			if err := json.Unmarshal(setup, &ds); err != nil {
-				return nil, fmt.Errorf("sim: dist setup: %w", err)
-			}
+		ds, err := parseDistSetup(setup)
+		if err != nil {
+			return nil, err
 		}
 		return func(ctx context.Context, payload json.RawMessage) (json.RawMessage, error) {
 			var spec ChaosSpec
 			if err := json.Unmarshal(payload, &spec); err != nil {
 				return nil, fmt.Errorf("sim: chaos payload: %w", err)
 			}
-			if ds.TimeoutNS > 0 {
-				var cancel context.CancelFunc
-				ctx, cancel = context.WithTimeout(ctx, time.Duration(ds.TimeoutNS))
-				defer cancel()
-			}
+			ctx, cancel := ds.jobTimeout(ctx)
+			defer cancel()
 			res, err := eng.RunChaos(ctx, spec)
 			if err != nil {
 				return nil, err
@@ -234,6 +255,55 @@ func init() {
 				return nil, err
 			}
 			return json.Marshal(sweep)
+		}, nil
+	})
+
+	dist.Register(KindHier, func(setup json.RawMessage) (dist.Runner, error) {
+		// Hierarchy runs build a private event engine per job — no shared
+		// sim Engine, so only the setup (profiles, timeout) applies. The
+		// -timeout bound is per run, matching KindRow's semantics.
+		ds, err := parseDistSetup(setup)
+		if err != nil {
+			return nil, err
+		}
+		return func(ctx context.Context, payload json.RawMessage) (json.RawMessage, error) {
+			var spec HierSpec
+			if err := json.Unmarshal(payload, &spec); err != nil {
+				return nil, fmt.Errorf("sim: hier payload: %w", err)
+			}
+			ctx, cancel := ds.jobTimeout(ctx)
+			defer cancel()
+			res, err := RunHierarchy(ctx, spec)
+			if errors.Is(err, ErrYield) {
+				// An uncoverable die set is a Monte Carlo datum, mirroring
+				// EvalRow's yield accounting — it must not abort the grid.
+				return json.Marshal(&HierResult{YieldFail: true})
+			}
+			if err != nil {
+				return nil, err
+			}
+			return json.Marshal(res)
+		}, nil
+	})
+
+	dist.Register(KindHierChaos, func(setup json.RawMessage) (dist.Runner, error) {
+		// Like KindChaos, the -timeout bound is per campaign.
+		ds, err := parseDistSetup(setup)
+		if err != nil {
+			return nil, err
+		}
+		return func(ctx context.Context, payload json.RawMessage) (json.RawMessage, error) {
+			var spec HierChaosSpec
+			if err := json.Unmarshal(payload, &spec); err != nil {
+				return nil, fmt.Errorf("sim: hierchaos payload: %w", err)
+			}
+			ctx, cancel := ds.jobTimeout(ctx)
+			defer cancel()
+			res, err := RunHierChaos(ctx, spec)
+			if err != nil {
+				return nil, err
+			}
+			return json.Marshal(res)
 		}, nil
 	})
 }

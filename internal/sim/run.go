@@ -146,17 +146,31 @@ func Run(spec RunSpec) (cpu.Result, error) {
 // RunContext is Run with cooperative cancellation (per-job timeouts in
 // campaign drivers); the context is threaded into the instruction loop.
 func RunContext(ctx context.Context, spec RunSpec) (cpu.Result, error) {
-	prof, err := workload.ByName(spec.Benchmark)
+	next := core.NewNextLevel(core.MemLatencyCycles(spec.Op.FreqMHz))
+	ic, dc, stream, err := buildRig(spec, next)
 	if err != nil {
 		return cpu.Result{}, err
 	}
+	return cpu.RunContext(ctx, spec.CPU, stream, ic, dc, next, spec.Instructions)
+}
+
+// buildRig draws the fault maps and assembles the spec's program,
+// layout, scheme caches and instruction stream over the provided next
+// level. It is the single construction path shared by the trace-driven
+// RunContext (inline per-core L2) and the event-driven hierarchy (a
+// port-backed next level) — which is how fault injection, BBR linking
+// and frame-disable semantics carry over to multicore runs unchanged.
+func buildRig(spec RunSpec, next *core.NextLevel) (core.InstrCache, core.DataCache, *workload.Stream, error) {
+	prof, err := workload.ByName(spec.Benchmark)
+	if err != nil {
+		return nil, nil, nil, err
+	}
 	if spec.Instructions == 0 {
-		return cpu.Result{}, errors.New("sim: zero instructions")
+		return nil, nil, nil, errors.New("sim: zero instructions")
 	}
 
 	fmI := drawMap(spec.Op.PfailBit, spec.MapSeed*2+11)
 	fmD := drawMap(spec.Op.PfailBit, spec.MapSeed*2+12)
-	next := core.NewNextLevel(core.MemLatencyCycles(spec.Op.FreqMHz))
 
 	// Program and layout. Only BBR transforms and relinks; every other
 	// scheme runs the conventional dense layout.
@@ -168,31 +182,29 @@ func RunContext(ctx context.Context, spec RunSpec) (cpu.Result, error) {
 			return t, terr
 		})
 		if err != nil {
-			return cpu.Result{}, err
+			return nil, nil, nil, err
 		}
 		pl, lerr := bbr.Link(prog, fmI, 0)
 		if lerr != nil {
 			if errors.Is(lerr, bbr.ErrUnplaceable) {
-				return cpu.Result{}, fmt.Errorf("%w: %v", ErrYield, lerr)
+				return nil, nil, nil, fmt.Errorf("%w: %v", ErrYield, lerr)
 			}
-			return cpu.Result{}, lerr
+			return nil, nil, nil, lerr
 		}
 		layout = pl
 	} else {
 		prog, err = workload.BuildProgram(prof, spec.WorkSeed, nil)
 		if err != nil {
-			return cpu.Result{}, err
+			return nil, nil, nil, err
 		}
 		layout = program.NewSequentialLayout(prog, 0)
 	}
 
 	ic, dc, err := buildCaches(spec, fmI, fmD, next)
 	if err != nil {
-		return cpu.Result{}, err
+		return nil, nil, nil, err
 	}
-
-	stream := workload.NewStream(prof, prog, layout, spec.WorkSeed)
-	return cpu.RunContext(ctx, spec.CPU, stream, ic, dc, next, spec.Instructions)
+	return ic, dc, workload.NewStream(prof, prog, layout, spec.WorkSeed), nil
 }
 
 func drawMap(pfailBit float64, seed int64) *faultmap.Map {

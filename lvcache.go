@@ -24,6 +24,8 @@ import (
 	"repro/internal/cacti"
 	"repro/internal/cpu"
 	"repro/internal/dvfs"
+	"repro/internal/event"
+	"repro/internal/hier"
 	"repro/internal/inject"
 	"repro/internal/sim"
 	"repro/internal/sram"
@@ -84,6 +86,36 @@ type (
 	RowResult = sim.RowResult
 	// DieSpec pins one die's DVFS-ladder sweep for distributed execution.
 	DieSpec = sim.DieSpec
+	// Hierarchy is the event-driven multicore memory hierarchy: N core
+	// components (each a full L1 scheme rig) sharing a banked L2 with
+	// MSHRs over latency-annotated ports, on one deterministic
+	// discrete-event engine per run.
+	Hierarchy = hier.Hierarchy
+	// HierConfig shapes a Hierarchy (core count, shared L2 parameters).
+	HierConfig = hier.Config
+	// L2Params configures the shared L2 (banks, MSHRs, occupancy, DRAM
+	// latency, link latency).
+	L2Params = hier.L2Params
+	// L2Stats is the shared L2's contention ledger.
+	L2Stats = hier.L2Stats
+	// EventTime is simulated time in femtoseconds (internal/event).
+	EventTime = event.Time
+	// HierSpec pins one event-driven multicore run: per-core benchmarks,
+	// voltage domains and fault maps against one shared L2.
+	HierSpec = sim.HierSpec
+	// HierCoreSpec pins one core of a HierSpec.
+	HierCoreSpec = sim.HierCoreSpec
+	// HierResult aggregates one multicore run.
+	HierResult = sim.HierResult
+	// HierCoreResult is one core's outcome within a HierResult.
+	HierCoreResult = sim.HierCoreResult
+	// HierChaosSpec pins one multicore fault-injection campaign with
+	// per-core back-off controllers.
+	HierChaosSpec = sim.HierChaosSpec
+	// HierChaosCoreSpec pins one core of a HierChaosSpec.
+	HierChaosCoreSpec = sim.HierChaosCoreSpec
+	// HierChaosResult aggregates one multicore campaign.
+	HierChaosResult = sim.HierChaosResult
 )
 
 // NewEngine returns an experiment engine bounded to the given worker
@@ -176,6 +208,31 @@ func RunChaos(spec ChaosSpec) (*ChaosResult, error) {
 // RunChaosContext is RunChaos with cancellation.
 func RunChaosContext(ctx context.Context, spec ChaosSpec) (*ChaosResult, error) {
 	return sim.NewEngine(0).RunChaos(ctx, spec)
+}
+
+// NewHierarchy builds an event-driven multicore hierarchy: cores core
+// components sharing one banked L2 on a fresh deterministic event
+// engine. Equip each core with Hierarchy.SetRig, then drive epochs
+// with Hierarchy.RunEpoch.
+func NewHierarchy(cfg HierConfig) (*Hierarchy, error) { return hier.New(cfg) }
+
+// DefaultL2Params returns the shared L2's default geometry clocked at
+// the given operating point.
+func DefaultL2Params(op OperatingPoint) L2Params { return hier.DefaultL2Params(op) }
+
+// RunHierarchy executes one event-driven multicore run. The
+// single-core configuration with the L2 in the core's clock domain
+// reproduces Run's trace-driven cycle counts within
+// sim.CalibrationTolerance (the calibration regression pins this).
+func RunHierarchy(ctx context.Context, spec HierSpec) (*HierResult, error) {
+	return sim.RunHierarchy(ctx, spec)
+}
+
+// RunHierChaos executes one multicore fault-injection campaign: every
+// core steered by its own back-off controller on its own voltage
+// domain, contending for the shared L2.
+func RunHierChaos(ctx context.Context, spec HierChaosSpec) (*HierChaosResult, error) {
+	return sim.RunHierChaos(ctx, spec)
 }
 
 // OperatingPoints returns the paper's DVFS table (Table II).

@@ -11,8 +11,14 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+# Host parallelism, recorded in every BENCH_*.json: scaling-sensitive
+# numbers (grid speedup, shard overhead, event throughput) are only
+# comparable between hosts of the same width.
+cpus=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+gomaxprocs=${GOMAXPROCS:-$cpus}
+
 out=BENCH_sim.json
-go test -run '^$' -bench . -benchtime "${BENCHTIME:-1x}" . | tee /dev/stderr | awk '
+go test -run '^$' -bench . -benchtime "${BENCHTIME:-1x}" . | tee /dev/stderr | awk -v cpus="$cpus" '
 	BEGIN { procs = 1 }
 	/^Benchmark/ {
 		full = $1
@@ -30,6 +36,7 @@ go test -run '^$' -bench . -benchtime "${BENCHTIME:-1x}" . | tee /dev/stderr | a
 		if (!(wN in ns) && ((wN "#01") in ns)) wN = wN "#01"
 		printf "{\n"
 		printf "  \"gomaxprocs\": %s,\n", procs
+		printf "  \"cpus\": %s,\n", cpus
 		if ((w1 in ns) && (wN in ns) && ns[wN] > 0)
 			printf "  \"fig10_grid_speedup\": %.2f,\n", ns[w1] / ns[wN]
 		for (i = 0; i < n; i++)
@@ -52,7 +59,7 @@ echo "bench: wrote $out"
 # BenchmarkChaosCampaign's ns/op is the cost of one ten-epoch back-off
 # campaign.
 out=BENCH_inject.json
-go test -run '^$' -bench 'BenchmarkInjectRecovery|BenchmarkChaosCampaign' -benchtime "${BENCHTIME:-1x}" . | tee /dev/stderr | awk '
+go test -run '^$' -bench 'BenchmarkInjectRecovery|BenchmarkChaosCampaign' -benchtime "${BENCHTIME:-1x}" . | tee /dev/stderr | awk -v procs="$gomaxprocs" -v cpus="$cpus" '
 	/^Benchmark/ {
 		name = $1; sub(/-[0-9]+$/, "", name)
 		if (!(name in ns)) order[n++] = name
@@ -65,6 +72,8 @@ go test -run '^$' -bench 'BenchmarkInjectRecovery|BenchmarkChaosCampaign' -bench
 		on = "BenchmarkInjectRecovery/inject=on"
 		camp = "BenchmarkChaosCampaign"
 		printf "{\n"
+		printf "  \"gomaxprocs\": %s,\n", procs
+		printf "  \"cpus\": %s,\n", cpus
 		if ((off in rec) && (on in rec)) {
 			d = rec[on] - rec[off]
 			if (d < 0) d = 0
@@ -98,8 +107,8 @@ t1=$(now_ms)
 "$lintbin" ./...
 t2=$(now_ms)
 
-printf '{\n  "lvlint_cold_ms": %s,\n  "lvlint_warm_ms": %s\n}\n' \
-	"$((t1 - t0))" "$((t2 - t1))" >"$out"
+printf '{\n  "gomaxprocs": %s,\n  "cpus": %s,\n  "lvlint_cold_ms": %s,\n  "lvlint_warm_ms": %s\n}\n' \
+	"$gomaxprocs" "$cpus" "$((t1 - t0))" "$((t2 - t1))" >"$out"
 echo "bench: wrote $out"
 
 # Fourth pass: the distributed-execution harness numbers.
@@ -111,7 +120,7 @@ echo "bench: wrote $out"
 # checkpoint (load + grid-hash verify + prefill + final flush),
 # recorded as resume_latency_ns_per_op.
 out=BENCH_dist.json
-go test -run '^$' -bench 'BenchmarkShardOverhead|BenchmarkResumeLatency' -benchtime "${BENCHTIME:-1x}" ./internal/dist/ | tee /dev/stderr | awk '
+go test -run '^$' -bench 'BenchmarkShardOverhead|BenchmarkResumeLatency' -benchtime "${BENCHTIME:-1x}" ./internal/dist/ | tee /dev/stderr | awk -v procs="$gomaxprocs" -v cpus="$cpus" '
 	/^Benchmark/ {
 		name = $1; sub(/-[0-9]+$/, "", name)
 		if (!(name in ns)) order[n++] = name
@@ -122,12 +131,53 @@ go test -run '^$' -bench 'BenchmarkShardOverhead|BenchmarkResumeLatency' -bencht
 		sharded = "BenchmarkShardOverhead/shards=2"
 		resume = "BenchmarkResumeLatency"
 		printf "{\n"
+		printf "  \"gomaxprocs\": %s,\n", procs
+		printf "  \"cpus\": %s,\n", cpus
 		if ((local in ns) && (sharded in ns) && ns[local] > 0)
 			printf "  \"shard_overhead_ratio\": %.2f,\n", ns[sharded] / ns[local]
 		if (resume in ns)
 			printf "  \"resume_latency_ns_per_op\": %.0f,\n", ns[resume]
 		for (i = 0; i < n; i++)
 			printf "  \"%s\": {\"ns_per_op\": %s}%s\n", order[i], ns[order[i]], (i < n - 1 ? "," : "")
+		printf "}\n"
+	}
+' >"$out"
+echo "bench: wrote $out"
+
+# Fifth pass: the event-driven hierarchy. BenchmarkEventKernel is the
+# raw kernel schedule/dispatch cost per event (pinned at 10000 events so
+# the per-event number is stable even under the default 1x benchtime);
+# BenchmarkHierContention is the shared-L2 contention experiment — two
+# FFW+BBR cores on distinct voltage domains — reporting whole-run ns/op,
+# kernel throughput (events/s) and the L2's mean contention wait.
+out=BENCH_event.json
+{
+	go test -run '^$' -bench 'BenchmarkEventKernel' -benchtime 10000x ./internal/event/
+	go test -run '^$' -bench 'BenchmarkHierContention' -benchtime "${BENCHTIME:-1x}" .
+} | tee /dev/stderr | awk -v procs="$gomaxprocs" -v cpus="$cpus" '
+	/^Benchmark/ {
+		name = $1; sub(/-[0-9]+$/, "", name)
+		ns[name] = $3
+		for (i = 4; i <= NF; i++) {
+			if ($i == "events/s") eps[name] = $(i - 1)
+			if ($i == "L2-wait-cy") wait[name] = $(i - 1)
+		}
+	}
+	END {
+		kern = "BenchmarkEventKernel"
+		cont = "BenchmarkHierContention"
+		printf "{\n"
+		printf "  \"gomaxprocs\": %s,\n", procs
+		printf "  \"cpus\": %s,\n", cpus
+		if ((kern in ns) && ns[kern] > 0) {
+			printf "  \"kernel_ns_per_event\": %s,\n", ns[kern]
+			printf "  \"kernel_events_per_sec\": %.0f,\n", 1e9 / ns[kern]
+		}
+		if (cont in eps)
+			printf "  \"contention_events_per_sec\": %.0f,\n", eps[cont]
+		if (cont in wait)
+			printf "  \"contention_l2_wait_cycles\": %s,\n", wait[cont]
+		printf "  \"contention_ns_per_op\": %s\n", (cont in ns) ? ns[cont] : 0
 		printf "}\n"
 	}
 ' >"$out"

@@ -48,3 +48,38 @@ if ! cmp -s "$tmp/want.txt" "$tmp/got.txt"; then
 	exit 1
 fi
 echo 'crashresume: resumed output is byte-identical to the uninterrupted run'
+
+# Second case: the event-driven multicore hierarchy (sim.hier jobs).
+# Each die set is one checkpointable job; the kill must land between
+# die sets and the resumed grid must still match the uninterrupted
+# in-process reference byte-for-byte.
+hargs="-hierarchy -cores 2 -mvs 400,560 -scheme FFW+BBR -bench qsort,dijkstra -n 150000 -maps 8 -seed 1"
+
+echo '== hierarchy reference run (uninterrupted, in-process)'
+"$tmp/lvsim" $hargs >"$tmp/hwant.txt"
+
+echo '== sharded hierarchy campaign, SIGKILLed mid-run'
+hckpt=$tmp/hier.ckpt
+"$tmp/lvsim" $hargs -shards 2 -checkpoint "$hckpt" >"$tmp/hkilled.out" 2>&1 &
+pid=$!
+while [ ! -s "$hckpt" ]; do
+	kill -0 "$pid" 2>/dev/null || break
+	sleep 0.1
+done
+sleep 0.2
+if kill -9 "$pid" 2>/dev/null; then
+	echo "   SIGKILLed the supervisor (pid $pid)"
+else
+	echo '   campaign finished before the kill landed; resume must still match'
+fi
+wait "$pid" 2>/dev/null || true
+
+echo '== resume the hierarchy grid from the checkpoint'
+"$tmp/lvsim" $hargs -shards 2 -checkpoint "$hckpt" -resume >"$tmp/hgot.txt"
+
+if ! cmp -s "$tmp/hwant.txt" "$tmp/hgot.txt"; then
+	echo 'crashresume: FAIL — resumed hierarchy output differs from the uninterrupted reference' >&2
+	diff "$tmp/hwant.txt" "$tmp/hgot.txt" >&2 || true
+	exit 1
+fi
+echo 'crashresume: resumed hierarchy output is byte-identical to the uninterrupted run'

@@ -12,8 +12,10 @@
 #   race   — race detector on the packages with shared mutable state
 #            (the run scheduler, the simulator fan-out, the cache model
 #            it drives, the fault-injection/back-off layers the chaos
-#            campaigns exercise concurrently, and the distributed
-#            supervisor with its worker subprocesses)
+#            campaigns exercise concurrently, the distributed
+#            supervisor with its worker subprocesses, and the
+#            event-driven hierarchy whose per-run engines must stay
+#            isolated under the parallel grid)
 #   fuzz   — short campaigns on the fuzz targets (serialization, fault
 #            map mutation, FFW stored-pattern round trip, checkpoint
 #            decode/encode); regressions land in the checked-in corpus
@@ -33,8 +35,8 @@ go run ./cmd/lvlint ./...
 echo '== go test ./...'
 go test ./...
 
-echo '== go test -race ./internal/engine/... ./internal/sim/... ./internal/cache/... ./internal/inject/... ./internal/dvfs/... ./internal/dist/...'
-go test -race ./internal/engine/... ./internal/sim/... ./internal/cache/... ./internal/inject/... ./internal/dvfs/... ./internal/dist/...
+echo '== go test -race ./internal/engine/... ./internal/sim/... ./internal/cache/... ./internal/inject/... ./internal/dvfs/... ./internal/dist/... ./internal/event/... ./internal/hier/...'
+go test -race ./internal/engine/... ./internal/sim/... ./internal/cache/... ./internal/inject/... ./internal/dvfs/... ./internal/dist/... ./internal/event/... ./internal/hier/...
 
 FUZZTIME="${FUZZTIME:-3s}"
 echo "== go test -fuzz (${FUZZTIME} each)"
