@@ -1,0 +1,144 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+)
+
+// Admission errors, mapped to HTTP statuses by the handlers. They are
+// never cached: a shed request retried a moment later may be admitted.
+var (
+	// ErrSaturated reports a full admission queue — the 503 +
+	// Retry-After load-shedding path. The queue is bounded by design:
+	// beyond MaxActive running and MaxQueue waiting requests, the
+	// server refuses instantly rather than stacking goroutines until
+	// memory or every client's patience runs out.
+	ErrSaturated = errors.New("serve: admission queue full")
+	// ErrDraining reports a server in graceful drain: it finishes what
+	// it admitted and refuses the rest.
+	ErrDraining = errors.New("serve: draining")
+	// ErrClientLimited reports a client over its concurrency cap (429).
+	ErrClientLimited = errors.New("serve: client over concurrency cap")
+)
+
+// admission is the two-stage gate in front of the worker pool: a
+// request first reserves one of MaxActive+MaxQueue slots (instant
+// failure when none are free — the shed path), then waits for one of
+// MaxActive run tokens, honouring its deadline and the drain signal
+// while queued. Compute parallelism itself is still bounded by the
+// engine pool; admission bounds how much *work* is in the building,
+// so queue wait — not memory growth — is the overload symptom.
+type admission struct {
+	slots  chan struct{} // reservations: cap = active + queued
+	active chan struct{} // run tokens: cap = active
+
+	draining chan struct{} // closed once, when drain begins
+
+	admitted atomic.Int64 // requests that received a run token
+	shed     atomic.Int64 // refused: queue full or draining
+	expired  atomic.Int64 // gave up while queued (deadline/disconnect)
+}
+
+func newAdmission(active, queue int) *admission {
+	return &admission{
+		slots:    make(chan struct{}, active+queue),
+		active:   make(chan struct{}, active),
+		draining: make(chan struct{}),
+	}
+}
+
+// acquire blocks until the request holds a run token, its context
+// dies, or the server begins draining. A nil return means the caller
+// must release(); every error return means it must not.
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case <-a.draining:
+		a.shed.Add(1)
+		return ErrDraining
+	default:
+	}
+	select {
+	case a.slots <- struct{}{}:
+	default:
+		a.shed.Add(1)
+		return ErrSaturated
+	}
+	select {
+	case a.active <- struct{}{}:
+		a.admitted.Add(1)
+		return nil
+	case <-ctx.Done():
+		<-a.slots
+		a.expired.Add(1)
+		return ctx.Err()
+	case <-a.draining:
+		<-a.slots
+		a.shed.Add(1)
+		return ErrDraining
+	}
+}
+
+// release returns the run token and the reservation.
+func (a *admission) release() {
+	<-a.active
+	<-a.slots
+}
+
+// drain flips the gate: queued requests are shed, running ones keep
+// their tokens. Safe to call once (the Server's drain path guards it).
+func (a *admission) drain() { close(a.draining) }
+
+// queued reports requests holding a reservation but not yet a token.
+func (a *admission) queued() int { return len(a.slots) - len(a.active) }
+
+// running reports requests holding a run token.
+func (a *admission) running() int { return len(a.active) }
+
+// clientLimiter caps concurrent in-flight requests per client — one
+// greedy client saturating the queue starves everyone else; the cap
+// keeps the shed pressure on the client generating it.
+type clientLimiter struct {
+	cap int
+
+	mu sync.Mutex
+	// inflight counts each client's current requests. guarded by mu
+	inflight map[string]int
+
+	rejects atomic.Int64
+}
+
+func newClientLimiter(cap int) *clientLimiter {
+	return &clientLimiter{cap: cap, inflight: make(map[string]int)}
+}
+
+// enter admits one request for id; the caller must leave(id) exactly
+// once on a true return and never on false.
+func (l *clientLimiter) enter(id string) bool {
+	if l.cap <= 0 {
+		return true
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.inflight[id] >= l.cap {
+		l.rejects.Add(1)
+		return false
+	}
+	l.inflight[id]++
+	return true
+}
+
+// leave releases one request for id.
+func (l *clientLimiter) leave(id string) {
+	if l.cap <= 0 {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n := l.inflight[id]; n <= 1 {
+		delete(l.inflight, id)
+	} else {
+		l.inflight[id] = n - 1
+	}
+}

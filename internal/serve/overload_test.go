@@ -1,0 +1,410 @@
+// Overload behaviour: bounded-queue shedding, per-client caps, and
+// graceful drain. These tests substitute the run seams with gated
+// computations so saturation and drain are reached deterministically,
+// not by racing real simulations.
+
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/cpu"
+	"repro/internal/dvfs"
+	"repro/internal/inject"
+	"repro/internal/sim"
+)
+
+// waitUntil polls cond for up to two seconds.
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// evalBody renders a distinct, valid eval spec; seed varies the cache key.
+func evalBody(t *testing.T, seed int64) string {
+	t.Helper()
+	b, err := json.Marshal(sim.RowSpec{
+		Scheme: sim.EightT, Benchmark: "basicmath", MV: 400,
+		Maps: 1, Seed: seed, Instructions: 1000, CPU: cpu.DefaultConfig(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// shedBodies builds one valid request body per run endpoint, so the
+// shed path is exercised table-driven across the whole surface.
+func shedBodies(t *testing.T) map[string]string {
+	t.Helper()
+	bodies := make(map[string]string)
+	add := func(path string, spec any) {
+		b, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bodies[path] = string(b)
+	}
+	add("/v1/eval", sim.RowSpec{
+		Scheme: sim.EightT, Benchmark: "basicmath", MV: 400,
+		Maps: 1, Seed: 99, Instructions: 1000, CPU: cpu.DefaultConfig(),
+	})
+	add("/v1/sweep", SweepSpec{
+		Schemes: []sim.Scheme{sim.EightT}, Benchmarks: []string{"basicmath"},
+		MVs: []int{400}, Instructions: 1000,
+	})
+	add("/v1/chaos", sim.ChaosSpec{
+		Benchmark: "qsort", DieSeed: 3, WorkSeed: 1,
+		Inject:  inject.Params{Seed: 9, Intensity: 5},
+		StartMV: 400, Epochs: 2, EpochInstructions: 1000,
+		CPU:     cpu.DefaultConfig(),
+		Backoff: dvfs.BackoffConfig{UpThreshold: 3, DownThreshold: 2, StableEpochs: 2},
+	})
+	add("/v1/hier", sim.HierSpec{
+		Scheme: sim.FFWBBR, Instructions: 1000, CPU: cpu.DefaultConfig(),
+		Cores: []sim.HierCoreSpec{{Benchmark: "qsort", MV: 400, MapSeed: 3, WorkSeed: 1}},
+	})
+	add("/v1/die", sim.DieSpec{
+		Scheme: sim.EightT, Benchmark: "basicmath", Instructions: 1000,
+		CPU: cpu.DefaultConfig(),
+	})
+	return bodies
+}
+
+// TestSaturatedQueueSheds fills one run slot and one queue slot with
+// blocked eval requests, then asserts — for every run endpoint — that
+// the next request is shed instantly with 503, a Retry-After header,
+// and the JSON envelope, while the admitted requests still complete.
+func TestSaturatedQueueSheds(t *testing.T) {
+	for path, body := range shedBodies(t) {
+		t.Run(path, func(t *testing.T) {
+			// PerClient -1: all three requests share the test client's
+			// address; the per-client cap has its own test.
+			s, ts := newTestServer(t, Config{Workers: 1, MaxActive: 1, MaxQueue: 1, PerClient: -1, RetryAfter: 2 * time.Second})
+			started := make(chan struct{}, 4)
+			release := make(chan struct{})
+			s.runRow = func(ctx context.Context, spec sim.RowSpec) (sim.RowResult, error) {
+				started <- struct{}{}
+				select {
+				case <-release:
+					return fakeRow(ctx, spec)
+				case <-ctx.Done():
+					return sim.RowResult{}, ctx.Err()
+				}
+			}
+
+			type outcome struct {
+				status int
+				body   []byte
+			}
+			results := make(chan outcome, 2)
+			blocked := func(seed int64) {
+				status, data, _ := post(t, ts.URL, "/v1/eval", evalBody(t, seed), nil)
+				results <- outcome{status, data}
+			}
+			// A: admitted and computing.
+			go blocked(1)
+			<-started
+			// B: holds the single queue slot, waiting for the run token.
+			go blocked(2)
+			waitUntil(t, "request queued", func() bool { return s.adm.queued() == 1 })
+
+			// C: the queue is full — shed now, regardless of endpoint.
+			status, data, hdr := post(t, ts.URL, path, body, nil)
+			if status != http.StatusServiceUnavailable {
+				t.Fatalf("shed status = %d, want 503: %s", status, data)
+			}
+			ra, err := strconv.Atoi(hdr.Get("Retry-After"))
+			if err != nil || ra < 1 {
+				t.Fatalf("Retry-After = %q, want a positive integer", hdr.Get("Retry-After"))
+			}
+			var eb errBody
+			if err := json.Unmarshal(data, &eb); err != nil {
+				t.Fatalf("shed body not JSON: %v: %s", err, data)
+			}
+			if eb.Code != "overloaded" || eb.RetryAfterS != int64(ra) {
+				t.Fatalf("shed envelope %+v, want code overloaded echoing Retry-After %d", eb, ra)
+			}
+
+			// The admitted pair still completes once unblocked.
+			close(release)
+			for i := 0; i < 2; i++ {
+				out := <-results
+				if out.status != http.StatusOK {
+					t.Fatalf("admitted request got %d: %s", out.status, out.body)
+				}
+			}
+			if shed := s.Stats().Admission.Shed; shed != 1 {
+				t.Fatalf("shed counter = %d, want 1", shed)
+			}
+		})
+	}
+}
+
+func TestPerClientCapReturns429(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2, MaxActive: 2, MaxQueue: 2, PerClient: 1})
+	started := make(chan struct{}, 4)
+	release := make(chan struct{})
+	s.runRow = func(ctx context.Context, spec sim.RowSpec) (sim.RowResult, error) {
+		started <- struct{}{}
+		select {
+		case <-release:
+			return fakeRow(ctx, spec)
+		case <-ctx.Done():
+			return sim.RowResult{}, ctx.Err()
+		}
+	}
+	hdr := map[string]string{"X-Client": "greedy"}
+	done := make(chan int, 1)
+	go func() {
+		status, _, _ := post(t, ts.URL, "/v1/eval", evalBody(t, 1), hdr)
+		done <- status
+	}()
+	<-started
+
+	status, data, _ := post(t, ts.URL, "/v1/eval", evalBody(t, 2), hdr)
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("second in-flight request = %d, want 429: %s", status, data)
+	}
+	// A different client is unaffected by the greedy one's cap.
+	polite := make(chan int, 1)
+	go func() {
+		status, _, _ := post(t, ts.URL, "/v1/eval", evalBody(t, 3), map[string]string{"X-Client": "polite"})
+		polite <- status
+	}()
+	<-started // polite's compute is admitted and running
+	close(release)
+	if st := <-polite; st != http.StatusOK {
+		t.Fatalf("polite client's request = %d, want 200", st)
+	}
+	if st := <-done; st != http.StatusOK {
+		t.Fatalf("greedy's first request = %d, want 200", st)
+	}
+	if rejects := s.Stats().Admission.ClientRejects; rejects != 1 {
+		t.Fatalf("client rejects = %d, want 1", rejects)
+	}
+}
+
+func TestDrainRefusesNewWork(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("idle drain: %v", err)
+	}
+	status, data, hdr := post(t, ts.URL, "/v1/eval", evalBody(t, 1), nil)
+	if status != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain status = %d: %s", status, data)
+	}
+	var eb errBody
+	if err := json.Unmarshal(data, &eb); err != nil || eb.Code != "draining" {
+		t.Fatalf("post-drain envelope %+v (err %v), want code draining", eb, err)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Fatal("post-drain response lacks Retry-After")
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close() //lvlint:ignore errdrop read-only response body close
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining = %d, want 503", resp.StatusCode)
+	}
+	// Idempotent: a second drain returns without incident.
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("second drain: %v", err)
+	}
+}
+
+// TestDrainDuringStreamFinishesCleanly starts a four-cell sweep whose
+// last two cells block, drains the server mid-stream with a short
+// grace, and asserts the client still received a well-formed NDJSON
+// stream: the two finished rows whole and in order, then a terminator
+// admitting rows=2 of=4, complete=false — never a torn row.
+func TestDrainDuringStreamFinishesCleanly(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2, DrainGrace: 30 * time.Millisecond})
+	var mu sync.Mutex
+	blockedStarted := 0
+	s.runRow = func(ctx context.Context, spec sim.RowSpec) (sim.RowResult, error) {
+		if spec.MV >= 480 {
+			mu.Lock()
+			blockedStarted++
+			mu.Unlock()
+			<-ctx.Done()
+			return sim.RowResult{}, ctx.Err()
+		}
+		return fakeRow(ctx, spec)
+	}
+
+	body := `{"schemes":["8T"],"benchmarks":["basicmath"],"mvs":[400,440,480,560],"instructions":1000}`
+	type streamOut struct {
+		status int
+		data   []byte
+	}
+	out := make(chan streamOut, 1)
+	go func() {
+		status, data, _ := post(t, ts.URL, "/v1/sweep", body, nil)
+		out <- streamOut{status, data}
+	}()
+
+	// Cells 0 and 1 (400/440 mV) complete and flush before cells 2 and 3
+	// can hold the two workers: the pool dispatches in index order and a
+	// job's row is flushed before its worker slot frees.
+	waitUntil(t, "both blocked cells computing", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return blockedStarted == 2
+	})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain did not complete: %v", err)
+	}
+
+	got := <-out
+	if got.status != http.StatusOK {
+		t.Fatalf("stream status = %d (headers were sent before drain): %s", got.status, got.data)
+	}
+	assertCleanStream(t, got.data, 4, false)
+	var end sweepEnd
+	lines := splitLines(got.data)
+	if err := json.Unmarshal(lines[len(lines)-1], &end); err != nil {
+		t.Fatal(err)
+	}
+	if end.Rows != 2 || end.Of != 4 {
+		t.Fatalf("terminator %+v, want rows=2 of=4", end)
+	}
+	// An interrupted stream is never cached: the next client must not
+	// replay a partial body as if it were the answer.
+	if hits := s.Stats().Cache.Hits; hits != 0 {
+		t.Fatalf("cache hits = %d after failed stream, want 0", hits)
+	}
+}
+
+// splitLines splits NDJSON into lines (the trailing newline dropped).
+func splitLines(data []byte) [][]byte {
+	var lines [][]byte
+	start := 0
+	for i, b := range data {
+		if b == '\n' {
+			lines = append(lines, data[start:i])
+			start = i + 1
+		}
+	}
+	return lines
+}
+
+// TestWaiterTakesOverWhenComputerDies: two identical requests coalesce;
+// the computing one's deadline kills it, the waiter must retry, become
+// the computer, and succeed — a foreign cancellation is not an answer.
+func TestWaiterTakesOverWhenComputerDies(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2})
+	var mu sync.Mutex
+	calls := 0
+	release := make(chan struct{})
+	s.runRow = func(ctx context.Context, spec sim.RowSpec) (sim.RowResult, error) {
+		mu.Lock()
+		calls++
+		first := calls == 1
+		mu.Unlock()
+		if first {
+			<-ctx.Done() // the first computer dies of its 50ms deadline
+			return sim.RowResult{}, ctx.Err()
+		}
+		<-release
+		return fakeRow(ctx, spec)
+	}
+	body := evalBody(t, 7)
+
+	first := make(chan int, 1)
+	go func() {
+		status, _, _ := post(t, ts.URL, "/v1/eval?deadline=50ms", body, map[string]string{"X-Client": "a"})
+		first <- status
+	}()
+	waitUntil(t, "first computer running", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return calls == 1
+	})
+	second := make(chan streamResult, 1)
+	go func() {
+		status, data, _ := post(t, ts.URL, "/v1/eval", body, map[string]string{"X-Client": "b"})
+		second <- streamResult{status, data}
+	}()
+	if st := <-first; st != http.StatusGatewayTimeout {
+		t.Fatalf("expired computer got %d, want 504", st)
+	}
+	waitUntil(t, "waiter recomputing", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return calls == 2
+	})
+	close(release)
+	got := <-second
+	if got.status != http.StatusOK {
+		t.Fatalf("waiter got %d: %s", got.status, got.data)
+	}
+	var res sim.RowResult
+	if err := json.Unmarshal(got.data, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Samples != 1 {
+		t.Fatalf("waiter's recomputed result %+v", res)
+	}
+}
+
+type streamResult struct {
+	status int
+	data   []byte
+}
+
+// TestExpiredWhileQueued: a queued request whose deadline lapses before
+// a run token frees gets 504, and its queue slot is returned.
+func TestExpiredWhileQueued(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1, MaxActive: 1, MaxQueue: 1, PerClient: -1})
+	started := make(chan struct{}, 2)
+	release := make(chan struct{})
+	s.runRow = func(ctx context.Context, spec sim.RowSpec) (sim.RowResult, error) {
+		started <- struct{}{}
+		select {
+		case <-release:
+			return fakeRow(ctx, spec)
+		case <-ctx.Done():
+			return sim.RowResult{}, ctx.Err()
+		}
+	}
+	blockerDone := make(chan int, 1)
+	go func() {
+		status, _, _ := post(t, ts.URL, "/v1/eval", evalBody(t, 1), nil)
+		blockerDone <- status
+	}()
+	<-started
+
+	status, data, _ := post(t, ts.URL, "/v1/eval?deadline=30ms", evalBody(t, 2), nil)
+	if status != http.StatusGatewayTimeout {
+		t.Fatalf("queued-expired status = %d, want 504: %s", status, data)
+	}
+	waitUntil(t, "queue slot returned", func() bool { return s.adm.queued() == 0 })
+	if expired := s.Stats().Admission.Expired; expired != 1 {
+		t.Fatalf("expired counter = %d, want 1", expired)
+	}
+	close(release)
+	if st := <-blockerDone; st != http.StatusOK {
+		t.Fatalf("blocker finished with %d", st)
+	}
+}

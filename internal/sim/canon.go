@@ -1,0 +1,61 @@
+// Canonical spec encoding and hashing: the cache-key discipline the
+// serving layer shares with internal/dist's checkpoints. A request body
+// is decoded strictly into its spec struct and re-marshalled; Go's
+// encoding/json emits struct fields in declaration order with fixed
+// number formatting, so two bodies that differ only in JSON key order,
+// whitespace or escaping canonicalize to the same bytes — and therefore
+// the same hash, the same cache entry, and the same byte-identical
+// response. The hash itself is dist.GridHash, the length-delimited
+// sha256 that pins checkpoint grids, applied to a one-payload grid.
+
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/dist"
+)
+
+// CanonicalJSON strictly decodes raw into spec (unknown fields are an
+// error — a misspelled field must never silently alias two different
+// requests onto one cache entry) and returns the canonical re-encoding.
+// spec must be a pointer to a fresh spec value.
+func CanonicalJSON(raw []byte, spec any) ([]byte, error) {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(spec); err != nil {
+		return nil, fmt.Errorf("sim: canonicalize: %w", err)
+	}
+	// A second document after the first is a malformed request, not
+	// trailing whitespace (which Decode's tokenizer skips on More).
+	if dec.More() {
+		return nil, fmt.Errorf("sim: canonicalize: trailing data after spec")
+	}
+	canon, err := json.Marshal(spec)
+	if err != nil {
+		return nil, fmt.Errorf("sim: canonicalize: %w", err)
+	}
+	return canon, nil
+}
+
+// SpecHash hashes a canonical spec encoding under its job kind,
+// reusing the grid hash that pins internal/dist checkpoints so one
+// content-addressing scheme covers both durable checkpoint rows and
+// served cache entries. Only canonical bytes (CanonicalJSON output)
+// should be hashed: hashing a raw request body would split one logical
+// spec across cache entries by key order.
+func SpecHash(kind string, canon []byte) string {
+	return dist.GridHash(kind, nil, []json.RawMessage{json.RawMessage(canon)})
+}
+
+// CanonicalHash is CanonicalJSON followed by SpecHash: the cache key
+// for one spec request, plus the canonical bytes for re-serving.
+func CanonicalHash(kind string, raw []byte, spec any) (hash string, canon []byte, err error) {
+	canon, err = CanonicalJSON(raw, spec)
+	if err != nil {
+		return "", nil, err
+	}
+	return SpecHash(kind, canon), canon, nil
+}

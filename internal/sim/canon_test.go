@@ -1,0 +1,164 @@
+package sim
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/cpu"
+	"repro/internal/dvfs"
+)
+
+func TestCanonicalHashIgnoresKeyOrderAndWhitespace(t *testing.T) {
+	ordered := `{"scheme":"FFW+BBR","benchmark":"basicmath","mv":400,"maps":3,"seed":7,"instructions":60000,"cpu":{"Width":2,"MispredictPenalty":10,"LoadExposure":0.4}}`
+	shuffled := `{
+		"cpu": {"LoadExposure": 0.4, "Width": 2, "MispredictPenalty": 10},
+		"seed": 7,
+		"maps": 3,
+		"instructions": 60000,
+		"benchmark": "basicmath",
+		"mv": 400,
+		"scheme": "FFW+BBR"
+	}`
+	h1, c1, err := CanonicalHash(KindRow, []byte(ordered), &RowSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, c2, err := CanonicalHash(KindRow, []byte(shuffled), &RowSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 != h2 {
+		t.Fatalf("key order changed the hash:\n%s\n%s", h1, h2)
+	}
+	if !bytes.Equal(c1, c2) {
+		t.Fatalf("key order changed the canonical bytes:\n%s\n%s", c1, c2)
+	}
+}
+
+func TestCanonicalHashSeparatesSpecs(t *testing.T) {
+	a := `{"scheme":"FFW+BBR","benchmark":"basicmath","mv":400,"maps":3}`
+	b := `{"scheme":"FFW+BBR","benchmark":"basicmath","mv":440,"maps":3}`
+	ha, _, err := CanonicalHash(KindRow, []byte(a), &RowSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, _, err := CanonicalHash(KindRow, []byte(b), &RowSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha == hb {
+		t.Fatal("different specs hashed identically")
+	}
+	// The same canonical bytes under a different kind must not collide
+	// either: a row request and a die request are different work.
+	hc, _, err := CanonicalHash(KindDie, []byte(a), &RowSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hc == ha {
+		t.Fatal("kind did not separate the hash")
+	}
+}
+
+func TestCanonicalJSONRejectsUnknownAndTrailing(t *testing.T) {
+	if _, err := CanonicalJSON([]byte(`{"scheme":"8T","typo_field":1}`), &RowSpec{}); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if _, err := CanonicalJSON([]byte(`{"scheme":"8T"} {"scheme":"8T"}`), &RowSpec{}); err == nil {
+		t.Fatal("trailing document accepted")
+	}
+	if _, err := CanonicalJSON([]byte(`{"scheme":"8T"}`+"\n\t "), &RowSpec{}); err != nil {
+		t.Fatalf("trailing whitespace rejected: %v", err)
+	}
+}
+
+func TestCanonicalJSONRoundTripStable(t *testing.T) {
+	spec := RunSpec{
+		Scheme: FFWBBR, Benchmark: "basicmath",
+		Op:      mustPoint(t, 400),
+		MapSeed: 3, WorkSeed: 9, Instructions: 60_000,
+		CPU: cpu.DefaultConfig(),
+	}
+	raw, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := CanonicalJSON(raw, &RunSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := CanonicalJSON(c1, &RunSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(c1, c2) {
+		t.Fatalf("canonicalization not idempotent:\n%s\n%s", c1, c2)
+	}
+	if SpecHash("sim.run", c1) != SpecHash("sim.run", c2) {
+		t.Fatal("hash unstable across canonical round trip")
+	}
+	var back RunSpec
+	if err := json.Unmarshal(c1, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != spec {
+		t.Fatalf("round trip changed the spec:\n%+v\n%+v", back, spec)
+	}
+}
+
+func mustPoint(t *testing.T, mv int) dvfs.OperatingPoint {
+	t.Helper()
+	op, err := dvfs.PointAt(mv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return op
+}
+
+// FuzzRunSpecCanonicalHash pins the canonicalization contract under
+// arbitrary input: whatever strictly decodes must canonicalize
+// idempotently (encode → decode → encode is a fixed point from the
+// first canonical form on), hash stably, and survive a JSON
+// re-indentation — the whitespace-only mutation every client is free
+// to make — with an identical hash.
+func FuzzRunSpecCanonicalHash(f *testing.F) {
+	f.Add([]byte(`{"Scheme":"FFW+BBR","Benchmark":"basicmath","Instructions":60000}`))
+	f.Add([]byte(`{"Op":{"VoltageMV":400,"FreqMHz":500,"PfailBit":1e-5},"MapSeed":-3,"Scatter":true}`))
+	f.Add([]byte(`{"CPU":{"Width":2,"MispredictPenalty":10,"LoadExposure":0.4},"WorkSeed":9}`))
+	f.Add([]byte(` { "Scheme" : "8T" } `))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		c1, err := CanonicalJSON(raw, &RunSpec{})
+		if err != nil {
+			return // malformed input is rejected, not canonicalized
+		}
+		h1 := SpecHash("sim.run", c1)
+		c2, err := CanonicalJSON(c1, &RunSpec{})
+		if err != nil {
+			t.Fatalf("canonical bytes failed to re-canonicalize: %v\n%s", err, c1)
+		}
+		if !bytes.Equal(c1, c2) {
+			t.Fatalf("canonicalization not idempotent:\n%s\n%s", c1, c2)
+		}
+		if h2 := SpecHash("sim.run", c2); h2 != h1 {
+			t.Fatalf("hash unstable: %s vs %s", h1, h2)
+		}
+		// Whitespace mutation: re-indenting the canonical form must not
+		// move the spec to a different cache entry.
+		var indented bytes.Buffer
+		if err := json.Indent(&indented, c1, " ", "\t"); err != nil {
+			t.Fatalf("indent: %v", err)
+		}
+		c3, err := CanonicalJSON(indented.Bytes(), &RunSpec{})
+		if err != nil {
+			t.Fatalf("indented canonical bytes rejected: %v", err)
+		}
+		if h3 := SpecHash("sim.run", c3); h3 != h1 {
+			t.Fatalf("whitespace changed the hash: %s vs %s", h1, h3)
+		}
+		if strings.Contains(string(c1), "\n") {
+			t.Fatalf("canonical form contains newline (breaks NDJSON rows): %q", c1)
+		}
+	})
+}

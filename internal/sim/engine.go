@@ -36,10 +36,28 @@ type Engine struct {
 
 // NewEngine returns an engine with the given worker bound; workers <= 0
 // selects GOMAXPROCS (the `-workers` flag default in every command).
+// The run memo is unbounded — right for a one-shot CLI sweep whose key
+// population is the grid itself; a long-lived process should bound it
+// with NewEngineBounded.
 func NewEngine(workers int) *Engine {
+	return NewEngineBounded(workers, 0)
+}
+
+// NewEngineBounded is NewEngine with a cap on the run memo: at most
+// maxRuns completed simulations stay cached, evicted least recently
+// used (maxRuns <= 0 means unbounded). Singleflight coalescing is
+// unaffected — an in-flight run is pinned until it completes — so a
+// bounded engine trades only recall, never determinism or the
+// one-computation-per-spec contract. This is what a serving layer
+// wants: each distinct RunSpec otherwise leaks one cpu.Result for the
+// life of the process.
+func NewEngineBounded(workers, maxRuns int) *Engine {
+	if maxRuns < 0 {
+		maxRuns = 0
+	}
 	return &Engine{
 		pool:  engine.New(workers),
-		runs:  engine.NewMemo[RunSpec, cpu.Result](),
+		runs:  engine.NewMemoConfig(engine.MemoConfig[RunSpec, cpu.Result]{MaxEntries: maxRuns}),
 		runFn: RunContext,
 	}
 }
@@ -58,6 +76,10 @@ func (e *Engine) Pool() *engine.Pool { return e.pool }
 func (e *Engine) MemoStats() (hits, misses int64) {
 	return e.runs.Hits(), e.runs.Misses()
 }
+
+// MemoEvictions reports completed runs dropped by a bounded engine's
+// LRU cap (always 0 on an unbounded engine).
+func (e *Engine) MemoEvictions() int64 { return e.runs.Evictions() }
 
 // SetJobTimeout bounds every simulation run scheduled through the
 // engine (the `-timeout` flag in the commands): a run exceeding d fails

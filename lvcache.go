@@ -27,6 +27,7 @@ import (
 	"repro/internal/event"
 	"repro/internal/hier"
 	"repro/internal/inject"
+	"repro/internal/serve"
 	"repro/internal/sim"
 	"repro/internal/sram"
 	"repro/internal/workload"
@@ -116,11 +117,28 @@ type (
 	HierChaosCoreSpec = sim.HierChaosCoreSpec
 	// HierChaosResult aggregates one multicore campaign.
 	HierChaosResult = sim.HierChaosResult
+	// Server is the hardened simulation service behind cmd/lvserve:
+	// canonical-JSON spec endpoints over a coalescing response cache,
+	// bounded admission with load shedding, and graceful drain.
+	Server = serve.Server
+	// ServeConfig tunes a Server; its zero value is a working
+	// single-host service.
+	ServeConfig = serve.Config
+	// ServeStats is the service's /v1/stats ledger document.
+	ServeStats = serve.Stats
+	// SweepSpec is the service's /v1/sweep request: explicit cells or a
+	// scheme × benchmark × voltage grid, streamed back as NDJSON rows.
+	SweepSpec = serve.SweepSpec
 )
 
 // NewEngine returns an experiment engine bounded to the given worker
 // count; workers <= 0 selects GOMAXPROCS.
 func NewEngine(workers int) *Engine { return sim.NewEngine(workers) }
+
+// NewServer builds the hardened simulation service. Mount
+// Server.Handler on any net/http server; call Server.Drain on
+// shutdown to finish admitted work and shed the rest.
+func NewServer(cfg ServeConfig) *Server { return serve.New(cfg) }
 
 // The evaluated schemes.
 const (

@@ -182,3 +182,43 @@ out=BENCH_event.json
 	}
 ' >"$out"
 echo "bench: wrote $out"
+
+# Sixth pass: the serving layer, against a synthetic (near-free) row
+# computation so the numbers measure lvserve's own admission, caching
+# and streaming, not the simulator. BenchmarkServeSaturation drives
+# 2x(active+queue) clients with distinct specs and a fixed 500us row
+# cost — the queue genuinely backs up, so p50/p99 include queue wait
+# and shed-rate is the fraction refused with 503. BenchmarkServeCached
+# replays one spec from many clients: the coalesce/replay path, with
+# the steady-state cache hit ratio. The iteration count is pinned (not
+# the default 1x) so the percentiles have a stable sample size.
+out=BENCH_serve.json
+go test -run '^$' -bench 'BenchmarkServeSaturation|BenchmarkServeCached' -benchtime "${SERVE_BENCHTIME:-2000x}" ./internal/serve/ | tee /dev/stderr | awk -v procs="$gomaxprocs" -v cpus="$cpus" '
+	/^Benchmark/ {
+		name = $1; sub(/-[0-9]+$/, "", name)
+		if (!(name in ns)) order[n++] = name
+		ns[name] = $3
+		for (i = 4; i <= NF; i++) {
+			if ($i == "req/s") rps[name] = $(i - 1)
+			if ($i == "p50-us") p50[name] = $(i - 1)
+			if ($i == "p99-us") p99[name] = $(i - 1)
+			if ($i == "shed-rate") shed[name] = $(i - 1)
+			if ($i == "hit-ratio") hit[name] = $(i - 1)
+		}
+	}
+	END {
+		sat = "BenchmarkServeSaturation"
+		cac = "BenchmarkServeCached"
+		printf "{\n"
+		printf "  \"gomaxprocs\": %s,\n", procs
+		printf "  \"cpus\": %s,\n", cpus
+		if (sat in rps) printf "  \"saturation_req_per_sec\": %.0f,\n", rps[sat]
+		if (sat in p50) printf "  \"saturation_p50_us\": %s,\n", p50[sat]
+		if (sat in p99) printf "  \"saturation_p99_us\": %s,\n", p99[sat]
+		if (sat in shed) printf "  \"saturation_shed_rate\": %s,\n", shed[sat]
+		if (cac in hit) printf "  \"cache_hit_ratio\": %s,\n", hit[cac]
+		printf "  \"cached_req_per_sec\": %.0f\n", (cac in rps) ? rps[cac] : 0
+		printf "}\n"
+	}
+' >"$out"
+echo "bench: wrote $out"

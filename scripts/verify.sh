@@ -18,7 +18,12 @@
 #            isolated under the parallel grid)
 #   fuzz   — short campaigns on the fuzz targets (serialization, fault
 #            map mutation, FFW stored-pattern round trip, checkpoint
-#            decode/encode); regressions land in the checked-in corpus
+#            decode/encode, canonical spec hashing); regressions land
+#            in the checked-in corpus
+#   serve  — lvserve smoke: three concurrent identical clients against
+#            a live server at two worker counts must get byte-identical
+#            bodies from exactly one simulation each (coalescing), and
+#            SIGTERM must drain to a zero exit
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -35,8 +40,8 @@ go run ./cmd/lvlint ./...
 echo '== go test ./...'
 go test ./...
 
-echo '== go test -race ./internal/engine/... ./internal/sim/... ./internal/cache/... ./internal/inject/... ./internal/dvfs/... ./internal/dist/... ./internal/event/... ./internal/hier/...'
-go test -race ./internal/engine/... ./internal/sim/... ./internal/cache/... ./internal/inject/... ./internal/dvfs/... ./internal/dist/... ./internal/event/... ./internal/hier/...
+echo '== go test -race ./internal/engine/... ./internal/sim/... ./internal/cache/... ./internal/inject/... ./internal/dvfs/... ./internal/dist/... ./internal/event/... ./internal/hier/... ./internal/serve/...'
+go test -race ./internal/engine/... ./internal/sim/... ./internal/cache/... ./internal/inject/... ./internal/dvfs/... ./internal/dist/... ./internal/event/... ./internal/hier/... ./internal/serve/...
 
 FUZZTIME="${FUZZTIME:-3s}"
 echo "== go test -fuzz (${FUZZTIME} each)"
@@ -45,5 +50,54 @@ go test -run '^$' -fuzz '^FuzzUnmarshalCompressed$' -fuzztime "$FUZZTIME" ./inte
 go test -run '^$' -fuzz '^FuzzMapMutation$' -fuzztime "$FUZZTIME" ./internal/faultmap/
 go test -run '^$' -fuzz '^FuzzWindowRoundTrip$' -fuzztime "$FUZZTIME" ./internal/ffw/
 go test -run '^$' -fuzz '^FuzzCheckpointRoundTrip$' -fuzztime "$FUZZTIME" ./internal/dist/
+go test -run '^$' -fuzz '^FuzzRunSpecCanonicalHash$' -fuzztime "$FUZZTIME" ./internal/sim/
+
+echo '== lvserve smoke (coalescing, determinism across worker counts, graceful drain)'
+servebin=$(mktemp -t lvserve.XXXXXX)
+addrfile=$(mktemp -t lvserve-addr.XXXXXX)
+servepid=""
+cleanup_serve() {
+	[ -n "$servepid" ] && kill "$servepid" 2>/dev/null || true
+	rm -f "$servebin" "$addrfile"
+}
+trap cleanup_serve EXIT
+go build -o "$servebin" ./cmd/lvserve
+smoke_sha=""
+for w in 1 2; do
+	rm -f "$addrfile"
+	"$servebin" -addr 127.0.0.1:0 -addr-file "$addrfile" -workers "$w" &
+	servepid=$!
+	i=0
+	while [ ! -s "$addrfile" ]; do
+		i=$((i + 1))
+		if [ "$i" -gt 100 ]; then
+			echo "lvserve: server never bound" >&2
+			exit 1
+		fi
+		sleep 0.1
+	done
+	line=$("$servebin" -smoke "http://$(cat "$addrfile")")
+	echo "workers=$w $line"
+	# A thundering herd of three identical clients must simulate once.
+	case "$line" in
+	*"computes=1") ;;
+	*)
+		echo "lvserve: herd did not coalesce: $line" >&2
+		exit 1
+		;;
+	esac
+	# SIGTERM must drain cleanly: zero exit, no truncated stream (the
+	# smoke client already checked the terminator before this point).
+	kill -TERM "$servepid"
+	wait "$servepid"
+	servepid=""
+	sha=${line%% *}
+	if [ -z "$smoke_sha" ]; then
+		smoke_sha=$sha
+	elif [ "$smoke_sha" != "$sha" ]; then
+		echo "lvserve: response bodies differ across worker counts" >&2
+		exit 1
+	fi
+done
 
 echo 'verify: all gates passed'
