@@ -49,7 +49,9 @@ func main() {
 		workers    = flag.Int("workers", 0, "simulation workers (0 = GOMAXPROCS)")
 		maxActive  = flag.Int("max-active", 0, "requests computing at once (0 = worker count)")
 		maxQueue   = flag.Int("max-queue", 0, "requests waiting for a run slot (0 = 4x max-active); beyond this the server sheds 503")
-		perClient  = flag.Int("per-client", 0, "per-client concurrent request cap (0 = max-active+max-queue, negative = unlimited)")
+		perClient  = flag.Int("per-client", 0, "per-X-Client concurrent request cap, scoped under the remote host (0 = max-active+max-queue, negative = unlimited)")
+		perHost    = flag.Int("per-host", 0, "per-remote-host concurrent request cap, immune to X-Client rotation (0 = max-active+max-queue, negative = unlimited)")
+		sweepCells = flag.Int("max-sweep-cells", 0, "cap on one sweep's cell count, refused with 400 before allocation (0 = 4096, negative = unlimited)")
 		deadline   = flag.Duration("deadline", 0, "default per-request deadline (0 = none)")
 		maxDead    = flag.Duration("max-deadline", 0, "clamp on client-supplied deadlines (0 = unclamped)")
 		retryAfter = flag.Duration("retry-after", 0, "Retry-After hint on shed responses (0 = 1s)")
@@ -90,6 +92,8 @@ func main() {
 		MaxActive:       *maxActive,
 		MaxQueue:        *maxQueue,
 		PerClient:       *perClient,
+		PerHost:         *perHost,
+		MaxSweepCells:   *sweepCells,
 		DefaultDeadline: *deadline,
 		MaxDeadline:     *maxDead,
 		RetryAfter:      *retryAfter,

@@ -96,49 +96,77 @@ func (a *admission) queued() int { return len(a.slots) - len(a.active) }
 // running reports requests holding a run token.
 func (a *admission) running() int { return len(a.active) }
 
-// clientLimiter caps concurrent in-flight requests per client — one
+// clientLimiter caps concurrent in-flight requests per requester — one
 // greedy client saturating the queue starves everyone else; the cap
 // keeps the shed pressure on the client generating it.
+//
+// Two nested buckets guard each request. The host bucket is keyed by
+// the remote address, which a client cannot choose, so its cap holds
+// against adversaries. The client bucket is keyed by the X-Client
+// header scoped under the host — a finer, cooperative partition that
+// lets well-behaved clients behind one address share fairly. A client
+// rotating X-Client values escapes only the client bucket; the host
+// bucket still bounds it.
 type clientLimiter struct {
-	cap int
+	clientCap, hostCap int
 
 	mu sync.Mutex
-	// inflight counts each client's current requests. guarded by mu
+	// inflight counts current requests per bucket key. guarded by mu
 	inflight map[string]int
 
 	rejects atomic.Int64
 }
 
-func newClientLimiter(cap int) *clientLimiter {
-	return &clientLimiter{cap: cap, inflight: make(map[string]int)}
+func newClientLimiter(clientCap, hostCap int) *clientLimiter {
+	return &clientLimiter{clientCap: clientCap, hostCap: hostCap, inflight: make(map[string]int)}
 }
 
-// enter admits one request for id; the caller must leave(id) exactly
-// once on a true return and never on false.
-func (l *clientLimiter) enter(id string) bool {
-	if l.cap <= 0 {
-		return true
-	}
+// Bucket keys cannot collide across kinds: the prefix tags the kind
+// and the host (which may contain anything but is shared by both
+// keys) comes last.
+func hostKey(host string) string           { return "h\x00" + host }
+func clientKey(host, client string) string { return "c\x00" + client + "\x00" + host }
+
+// enter admits one request for the host/client pair; the caller must
+// leave the same pair exactly once on a true return and never on
+// false. Both buckets are taken or neither.
+func (l *clientLimiter) enter(host, client string) bool {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if l.inflight[id] >= l.cap {
+	if l.hostCap > 0 && l.inflight[hostKey(host)] >= l.hostCap {
 		l.rejects.Add(1)
 		return false
 	}
-	l.inflight[id]++
+	if l.clientCap > 0 && client != "" && l.inflight[clientKey(host, client)] >= l.clientCap {
+		l.rejects.Add(1)
+		return false
+	}
+	if l.hostCap > 0 {
+		l.inflight[hostKey(host)]++
+	}
+	if l.clientCap > 0 && client != "" {
+		l.inflight[clientKey(host, client)]++
+	}
 	return true
 }
 
-// leave releases one request for id.
-func (l *clientLimiter) leave(id string) {
-	if l.cap <= 0 {
-		return
-	}
+// leave releases one request for the host/client pair, dropping each
+// bucket at zero so the map never outgrows the in-flight set.
+func (l *clientLimiter) leave(host, client string) {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	if n := l.inflight[id]; n <= 1 {
-		delete(l.inflight, id)
-	} else {
-		l.inflight[id] = n - 1
+	keys := make([]string, 0, 2)
+	if l.hostCap > 0 {
+		keys = append(keys, hostKey(host))
+	}
+	if l.clientCap > 0 && client != "" {
+		keys = append(keys, clientKey(host, client))
+	}
+	for _, key := range keys {
+		if n := l.inflight[key]; n <= 1 {
+			delete(l.inflight, key)
+		} else {
+			l.inflight[key] = n - 1
+		}
 	}
 }

@@ -48,7 +48,7 @@ func percentileUS(sorted []time.Duration, q float64) float64 {
 // fraction of requests sheds. Reported: end-to-end req/s (shed and
 // served), p50/p99 latency of served requests, and the shed rate.
 func BenchmarkServeSaturation(b *testing.B) {
-	s, ts := benchServer(b, Config{Workers: 4, MaxActive: 4, MaxQueue: 8, PerClient: -1})
+	s, ts := benchServer(b, Config{Workers: 4, MaxActive: 4, MaxQueue: 8, PerClient: -1, PerHost: -1})
 	// A fixed per-row cost: with 24 clients against 4 run slots the
 	// queue genuinely backs up, so the shed path is on the measured path.
 	s.runRow = func(ctx context.Context, spec sim.RowSpec) (sim.RowResult, error) {
@@ -114,7 +114,7 @@ func BenchmarkServeSaturation(b *testing.B) {
 // BenchmarkServeCached replays one spec from many clients: after the
 // first fill every request is a cache hit, measuring the replay path.
 func BenchmarkServeCached(b *testing.B) {
-	s, ts := benchServer(b, Config{Workers: 4, PerClient: -1})
+	s, ts := benchServer(b, Config{Workers: 4, PerClient: -1, PerHost: -1})
 	const body = `{"scheme":"8T","benchmark":"basicmath","mv":400,"maps":1,"seed":1,"instructions":1000}`
 
 	b.ResetTimer()

@@ -91,9 +91,9 @@ func shedBodies(t *testing.T) map[string]string {
 func TestSaturatedQueueSheds(t *testing.T) {
 	for path, body := range shedBodies(t) {
 		t.Run(path, func(t *testing.T) {
-			// PerClient -1: all three requests share the test client's
-			// address; the per-client cap has its own test.
-			s, ts := newTestServer(t, Config{Workers: 1, MaxActive: 1, MaxQueue: 1, PerClient: -1, RetryAfter: 2 * time.Second})
+			// PerClient/PerHost -1: all three requests share the test
+			// client's address; the concurrency caps have their own tests.
+			s, ts := newTestServer(t, Config{Workers: 1, MaxActive: 1, MaxQueue: 1, PerClient: -1, PerHost: -1, RetryAfter: 2 * time.Second})
 			started := make(chan struct{}, 4)
 			release := make(chan struct{})
 			s.runRow = func(ctx context.Context, spec sim.RowSpec) (sim.RowResult, error) {
@@ -192,6 +192,44 @@ func TestPerClientCapReturns429(t *testing.T) {
 	}
 	if st := <-done; st != http.StatusOK {
 		t.Fatalf("greedy's first request = %d, want 200", st)
+	}
+	if rejects := s.Stats().Admission.ClientRejects; rejects != 1 {
+		t.Fatalf("client rejects = %d, want 1", rejects)
+	}
+}
+
+// TestRotatingClientHeaderCannotEscapeHostCap: X-Client is
+// client-chosen, so rotating it must not buy extra concurrency — the
+// per-host bucket, keyed by the remote address, still binds.
+func TestRotatingClientHeaderCannotEscapeHostCap(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 2, MaxActive: 2, MaxQueue: 2, PerClient: 1, PerHost: 1})
+	started := make(chan struct{}, 2)
+	release := make(chan struct{})
+	s.runRow = func(ctx context.Context, spec sim.RowSpec) (sim.RowResult, error) {
+		started <- struct{}{}
+		select {
+		case <-release:
+			return fakeRow(ctx, spec)
+		case <-ctx.Done():
+			return sim.RowResult{}, ctx.Err()
+		}
+	}
+	done := make(chan int, 1)
+	go func() {
+		status, _, _ := post(t, ts.URL, "/v1/eval", evalBody(t, 1), map[string]string{"X-Client": "rotate-0"})
+		done <- status
+	}()
+	<-started
+
+	// A fresh X-Client name dodges the per-client bucket, but the host
+	// bucket (same remote address) is at its cap of 1.
+	status, data, _ := post(t, ts.URL, "/v1/eval", evalBody(t, 2), map[string]string{"X-Client": "rotate-1"})
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("rotated-header request = %d, want 429: %s", status, data)
+	}
+	close(release)
+	if st := <-done; st != http.StatusOK {
+		t.Fatalf("first request = %d, want 200", st)
 	}
 	if rejects := s.Stats().Admission.ClientRejects; rejects != 1 {
 		t.Fatalf("client rejects = %d, want 1", rejects)

@@ -77,7 +77,16 @@ type Config struct {
 	MaxQueue int
 	// PerClient caps one client's concurrent in-flight requests (429
 	// beyond it); 0 selects MaxActive+MaxQueue, negative disables.
+	// Clients name themselves with the X-Client header; the name is
+	// scoped to the remote host, and PerHost backstops it — a client
+	// rotating names cannot buy more than its host's share.
 	PerClient int
+	// PerHost caps one remote host's concurrent in-flight requests
+	// across all its client names (429 beyond it); 0 selects
+	// MaxActive+MaxQueue, negative disables. Unlike X-Client, the
+	// remote address is not client-chosen, so this cap holds against
+	// non-cooperating clients.
+	PerHost int
 	// DefaultDeadline bounds a request that names no deadline; 0 means
 	// unbounded. MaxDeadline clamps client-supplied deadlines; 0 means
 	// unclamped.
@@ -93,6 +102,11 @@ type Config struct {
 	// RunCacheEntries bounds the engine's run memo when Engine is nil;
 	// 0 selects 4096.
 	RunCacheEntries int
+	// MaxSweepCells caps one sweep's cell count — grid product or
+	// explicit cell list — rejected with 400 before anything is
+	// allocated, so a kilobyte of JSON cannot demand gigabytes of grid.
+	// 0 selects 4096, negative disables the cap.
+	MaxSweepCells int
 	// DrainGrace is how long Drain lets admitted work finish before
 	// cancelling it; 0 selects 30s, negative waits forever.
 	DrainGrace time.Duration
@@ -114,6 +128,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PerClient == 0 {
 		c.PerClient = c.MaxActive + c.MaxQueue
+	}
+	if c.PerHost == 0 {
+		c.PerHost = c.MaxActive + c.MaxQueue
+	}
+	if c.MaxSweepCells == 0 {
+		c.MaxSweepCells = 4096
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
@@ -173,7 +193,7 @@ func New(cfg Config) *Server {
 		cfg:      cfg,
 		eng:      cfg.Engine,
 		adm:      newAdmission(cfg.MaxActive, cfg.MaxQueue),
-		clients:  newClientLimiter(cfg.PerClient),
+		clients:  newClientLimiter(cfg.PerClient, cfg.PerHost),
 		computes: make(map[string]int64, len(kinds)),
 	}
 	s.cache = engine.NewMemoConfig(engine.MemoConfig[string, []byte]{
@@ -317,16 +337,17 @@ func (s *Server) writeRunError(w http.ResponseWriter, err error) {
 	}
 }
 
-// clientID identifies the requester for the per-client cap: the
-// X-Client header when set (cooperating clients), else the remote host.
-func clientID(r *http.Request) string {
-	if id := r.Header.Get("X-Client"); id != "" {
-		return id
+// clientKeys identifies the requester for the concurrency caps: the
+// remote host (not client-chosen — the cap that holds against a
+// non-cooperating client) and the X-Client header when set (a
+// cooperating client's name, scoped under its host so rotating names
+// cannot escape the host's share).
+func clientKeys(r *http.Request) (host, client string) {
+	host = r.RemoteAddr
+	if h, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
+		host = h
 	}
-	if host, _, err := net.SplitHostPort(r.RemoteAddr); err == nil {
-		return host
-	}
-	return r.RemoteAddr
+	return host, r.Header.Get("X-Client")
 }
 
 // requestDeadline resolves the request's deadline: the "deadline"
@@ -365,8 +386,8 @@ func (s *Server) begin(w http.ResponseWriter, r *http.Request) (ctx context.Cont
 		s.writeError(w, http.StatusBadRequest, "bad_deadline", err.Error(), false)
 		return nil, nil, false
 	}
-	client := clientID(r)
-	if !s.clients.enter(client) {
+	host, client := clientKeys(r)
+	if !s.clients.enter(host, client) {
 		s.writeError(w, http.StatusTooManyRequests, "client_limited", ErrClientLimited.Error(), true)
 		return nil, nil, false
 	}
@@ -376,7 +397,7 @@ func (s *Server) begin(w http.ResponseWriter, r *http.Request) (ctx context.Cont
 	s.drainMu.RLock()
 	if s.draining {
 		s.drainMu.RUnlock()
-		s.clients.leave(client)
+		s.clients.leave(host, client)
 		s.writeError(w, http.StatusServiceUnavailable, "draining", ErrDraining.Error(), true)
 		return nil, nil, false
 	}
@@ -393,7 +414,7 @@ func (s *Server) begin(w http.ResponseWriter, r *http.Request) (ctx context.Cont
 	end = func() {
 		stop()
 		cancel()
-		s.clients.leave(client)
+		s.clients.leave(host, client)
 		s.inflight.Done()
 	}
 	return ctx, end, true
@@ -636,6 +657,7 @@ type AdmissionStats struct {
 	MaxActive      int   `json:"max_active"`
 	MaxQueue       int   `json:"max_queue"`
 	PerClientLimit int   `json:"per_client_limit"`
+	PerHostLimit   int   `json:"per_host_limit"`
 }
 
 // CacheStats is the response cache's ledger.
@@ -669,6 +691,7 @@ func (s *Server) Stats() Stats {
 			MaxActive:      s.cfg.MaxActive,
 			MaxQueue:       s.cfg.MaxQueue,
 			PerClientLimit: s.cfg.PerClient,
+			PerHostLimit:   s.cfg.PerHost,
 		},
 		Cache: CacheStats{
 			Hits:      s.cache.Hits(),

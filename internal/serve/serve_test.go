@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -323,6 +324,92 @@ func assertCleanStream(t *testing.T, body []byte, wantRows int, wantComplete boo
 	} else if end.Complete {
 		t.Fatalf("interrupted stream claims completeness: %+v", end)
 	}
+}
+
+// TestSweepCellCapRejectsHugeGrid: an over-cap grid must cost a 400,
+// not the memory it names — the product is checked before any cell is
+// allocated, so even an absurd grid (duplicate-laden axes multiplying
+// to ~1e15 cells from a small body) is refused instantly.
+func TestSweepCellCapRejectsHugeGrid(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxSweepCells: 4})
+	cases := []struct{ name, body string }{
+		{"grid over cap", `{"schemes":["8T","DefectFree"],"benchmarks":["basicmath"],"mvs":[400,440,480],"instructions":1000}`},
+		{"cells over cap", `{"cells":[` + strings.Repeat(`{"scheme":"8T","benchmark":"basicmath","mv":400,"maps":1,"instructions":1000},`, 4) +
+			`{"scheme":"8T","benchmark":"basicmath","mv":440,"maps":1,"instructions":1000}]}`},
+		{"duplicate scheme", `{"schemes":["8T","8T"],"benchmarks":["basicmath"],"mvs":[400],"instructions":1000}`},
+		{"duplicate mv", `{"schemes":["8T"],"benchmarks":["basicmath"],"mvs":[400,400],"instructions":1000}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			status, body, _ := post(t, ts.URL, "/v1/sweep", tc.body, nil)
+			if status != http.StatusBadRequest {
+				t.Fatalf("status = %d, want 400: %s", status, body)
+			}
+			var eb errBody
+			if err := json.Unmarshal(body, &eb); err != nil || eb.Code != "bad_spec" {
+				t.Fatalf("envelope %+v (err %v), want code bad_spec", eb, err)
+			}
+		})
+	}
+
+	// The expansion itself must refuse a monster grid without sizing a
+	// slice for it: three 100k-entry axes name 1e15 cells from ~1 MiB
+	// of JSON. If this allocated first, the test would OOM, not fail.
+	huge := SweepSpec{
+		Schemes:      make([]sim.Scheme, 100_000),
+		Benchmarks:   make([]string, 100_000),
+		MVs:          make([]int, 100_000),
+		Instructions: 1000,
+	}
+	if _, err := huge.expand(4096); err == nil {
+		t.Fatal("1e15-cell grid expanded without error")
+	}
+	if _, err := huge.expand(-1); err == nil {
+		t.Fatal("uncapped 1e15-cell grid must still fail (duplicate axis entries)")
+	}
+}
+
+// errAfterWriter fails every Write after the first n succeed —
+// a client whose connection dies mid-stream, as seen by a
+// ResponseWriter wrapper that does not cancel the request context.
+type errAfterWriter struct{ n int }
+
+func (w *errAfterWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, errors.New("client gone")
+	}
+	w.n--
+	return len(p), nil
+}
+
+// TestClientWriteErrorStillYieldsCompleteBody: when the client's write
+// fails but the run context stays live, the client detaches and the
+// accumulated body — the one the cache would store and replay to every
+// future identical request — must still be the complete stream.
+func TestClientWriteErrorStillYieldsCompleteBody(t *testing.T) {
+	s := New(Config{Workers: 2})
+	s.runRow = fakeRow
+	t.Cleanup(s.Close)
+	spec := SweepSpec{
+		Schemes: []sim.Scheme{sim.EightT}, Benchmarks: []string{"basicmath"},
+		MVs: []int{400, 440, 480}, Instructions: 1000,
+	}
+	cells, err := spec.expand(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := s.streamSweep(context.Background(), nil, nil, cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.streamSweep(context.Background(), &errAfterWriter{1}, nil, cells)
+	if err != nil {
+		t.Fatalf("stream with a dead client errored: %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("body after client write error differs from the detached run:\n%q\n%q", got, want)
+	}
+	assertCleanStream(t, got, len(cells), true)
 }
 
 func TestSweepExplicitCellsStream(t *testing.T) {

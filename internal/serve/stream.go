@@ -48,17 +48,32 @@ type SweepSpec struct {
 	CPU          *cpu.Config  `json:"cpu,omitempty"`
 }
 
-// expand resolves the spec into its cell list.
-func (s SweepSpec) expand() ([]sim.RowSpec, error) {
+// expand resolves the spec into its cell list, bounded by maxCells
+// (<= 0 means unbounded). The grid product is sized before anything is
+// allocated — a small request body can name an enormous grid, and an
+// over-cap sweep must cost a refusal, not the memory it asked for.
+func (s SweepSpec) expand(maxCells int) ([]sim.RowSpec, error) {
 	gridForm := len(s.Schemes) > 0 || len(s.Benchmarks) > 0 || len(s.MVs) > 0
 	if len(s.Cells) > 0 {
 		if gridForm || s.Maps != 0 || s.Seed != 0 || s.Instructions != 0 || s.CPU != nil {
 			return nil, fmt.Errorf("serve: sweep takes cells or a grid, not both")
 		}
+		if maxCells > 0 && len(s.Cells) > maxCells {
+			return nil, fmt.Errorf("serve: sweep of %d cells exceeds the %d-cell cap", len(s.Cells), maxCells)
+		}
 		return s.Cells, nil
 	}
 	if len(s.Schemes) == 0 || len(s.Benchmarks) == 0 || len(s.MVs) == 0 {
 		return nil, fmt.Errorf("serve: sweep grid needs schemes, benchmarks and mvs (or explicit cells)")
+	}
+	// Each axis length is bounded by the request body cap (1 MiB), so
+	// the int64 product cannot overflow (≤ ~2^60).
+	product := int64(len(s.Schemes)) * int64(len(s.Benchmarks)) * int64(len(s.MVs))
+	if maxCells > 0 && product > int64(maxCells) {
+		return nil, fmt.Errorf("serve: sweep grid of %d cells exceeds the %d-cell cap", product, maxCells)
+	}
+	if err := dupAxisEntry(s); err != nil {
+		return nil, err
 	}
 	maps := s.Maps
 	if maps <= 0 {
@@ -68,7 +83,7 @@ func (s SweepSpec) expand() ([]sim.RowSpec, error) {
 	if s.CPU != nil {
 		cfg = *s.CPU
 	}
-	cells := make([]sim.RowSpec, 0, len(s.Schemes)*len(s.Benchmarks)*len(s.MVs))
+	cells := make([]sim.RowSpec, 0, product)
 	for _, scheme := range s.Schemes {
 		for _, bench := range s.Benchmarks {
 			for _, mv := range s.MVs {
@@ -80,6 +95,34 @@ func (s SweepSpec) expand() ([]sim.RowSpec, error) {
 		}
 	}
 	return cells, nil
+}
+
+// dupAxisEntry rejects a grid axis that names the same value twice: a
+// duplicate only ever inflates the grid with identical rows, so it is
+// a spec mistake — and refusing it keeps the cell cap honest.
+func dupAxisEntry(s SweepSpec) error {
+	schemes := make(map[sim.Scheme]bool, len(s.Schemes))
+	for _, v := range s.Schemes {
+		if schemes[v] {
+			return fmt.Errorf("serve: duplicate scheme %q in sweep grid", v)
+		}
+		schemes[v] = true
+	}
+	benches := make(map[string]bool, len(s.Benchmarks))
+	for _, v := range s.Benchmarks {
+		if benches[v] {
+			return fmt.Errorf("serve: duplicate benchmark %q in sweep grid", v)
+		}
+		benches[v] = true
+	}
+	mvs := make(map[int]bool, len(s.MVs))
+	for _, v := range s.MVs {
+		if mvs[v] {
+			return fmt.Errorf("serve: duplicate voltage %d in sweep grid", v)
+		}
+		mvs[v] = true
+	}
+	return nil
 }
 
 // validateCells front-checks every cell so a bad grid is a 400, not a
@@ -118,18 +161,27 @@ type sweepEnd struct {
 // happen under one mutex, so every line reaches the writer whole and
 // exactly once, and a partial flush is always a prefix of the full
 // stream.
+//
+// The cache buffer and the client are separate destinations on
+// purpose: when the client's write fails, only the client detaches —
+// the buffer keeps accumulating, so the body handed back for caching
+// is always the complete stream, never a truncation shaped by one
+// connection's death. (The request context usually cancels the run
+// anyway and the error return keeps the body out of the cache; the
+// split makes the cached-body invariant hold even when it does not.)
 type rowFlusher struct {
 	mu      sync.Mutex
-	out     io.Writer    // client + buffer; buffer alone when detached
-	flusher http.Flusher // nil when the writer cannot stream
-	lines   [][]byte     // guarded by mu
-	ready   []bool       // guarded by mu
-	next    int          // first unwritten row. guarded by mu
-	werr    error        // first write error; stops client writes. guarded by mu
+	buf     *bytes.Buffer // cache accumulation; always written. guarded by mu
+	client  io.Writer     // live stream; nil when absent or detached. guarded by mu
+	flusher http.Flusher  // nil when the writer cannot stream. guarded by mu
+	lines   [][]byte      // guarded by mu
+	ready   []bool        // guarded by mu
+	next    int           // first unwritten row. guarded by mu
+	werr    error         // first client write error; detaches the client. guarded by mu
 }
 
-func newRowFlusher(out io.Writer, flusher http.Flusher, n int) *rowFlusher {
-	return &rowFlusher{out: out, flusher: flusher, lines: make([][]byte, n), ready: make([]bool, n)}
+func newRowFlusher(buf *bytes.Buffer, client io.Writer, flusher http.Flusher, n int) *rowFlusher {
+	return &rowFlusher{buf: buf, client: client, flusher: flusher, lines: make([][]byte, n), ready: make([]bool, n)}
 }
 
 // store records row i's marshalled line (called from the job, before
@@ -152,20 +204,24 @@ func (f *rowFlusher) complete(i int) {
 		f.next++
 		wrote = true
 	}
-	if wrote && f.werr == nil && f.flusher != nil {
+	if wrote && f.flusher != nil {
 		f.flusher.Flush()
 	}
 }
 
-// writeLocked writes one whole line. caller holds mu.
+// writeLocked writes one whole line: to the buffer always, to the
+// client until its first write error detaches it. caller holds mu.
 func (f *rowFlusher) writeLocked(line []byte) {
-	if f.werr != nil {
+	f.buf.Write(line) // bytes.Buffer.Write never fails
+	if f.client == nil {
 		return
 	}
-	if _, err := f.out.Write(line); err != nil {
-		// The client is gone; remember it and stop writing. The
+	if _, err := f.client.Write(line); err != nil {
+		// The client is gone; detach it and keep accumulating. The
 		// request context cancels independently via the connection.
 		f.werr = err
+		f.client = nil
+		f.flusher = nil
 	}
 }
 
@@ -181,7 +237,7 @@ func (f *rowFlusher) finish(of int, runErr error) (rows int) {
 	if err == nil {
 		f.writeLocked(append(line, '\n'))
 	}
-	if f.werr == nil && f.flusher != nil {
+	if f.flusher != nil {
 		f.flusher.Flush()
 	}
 	return f.next
@@ -198,7 +254,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		return
 	}
-	cells, err := spec.expand()
+	cells, err := spec.expand(s.cfg.MaxSweepCells)
 	if err != nil {
 		s.writeError(w, http.StatusBadRequest, "bad_spec", err.Error(), false)
 		return
@@ -237,11 +293,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 // return reaches the memo, whose KeepErr drops it).
 func (s *Server) streamSweep(ctx context.Context, w io.Writer, flusher http.Flusher, cells []sim.RowSpec) ([]byte, error) {
 	var buf bytes.Buffer
-	out := io.Writer(&buf)
-	if w != nil {
-		out = io.MultiWriter(&buf, w)
-	}
-	fl := newRowFlusher(out, flusher, len(cells))
+	fl := newRowFlusher(&buf, w, flusher, len(cells))
 	_, _, err := engine.MapPartialNotify(ctx, s.eng.Pool(), len(cells), s.eng.JobTimeout(),
 		func(ctx context.Context, i int) (struct{}, error) {
 			res, rerr := s.runRow(ctx, cells[i])
