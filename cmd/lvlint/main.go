@@ -89,6 +89,9 @@ func main() {
 	cache := analyze.OpenCache(root)
 	var cacheKey string
 	if cacheable {
+		// Drop entries no run of this binary can ever hit again (old
+		// schema or analyzer fingerprint) before consulting the cache.
+		cache.GC(analyze.AnalyzerVersion())
 		if key, err := cache.Key(root, names, analyze.AnalyzerVersion()); err == nil {
 			cacheKey = key
 			if diags, ok := cache.Get(root, key); ok {
@@ -128,7 +131,7 @@ func main() {
 
 	if cacheable && cacheKey != "" {
 		// Best-effort: a failed write just means a cold run next time.
-		_ = cache.Put(root, cacheKey, diags)
+		_ = cache.Put(root, cacheKey, analyze.AnalyzerVersion(), diags)
 	}
 	emit(diags, *quiet, *jsonOut)
 }

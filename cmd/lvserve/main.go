@@ -176,7 +176,7 @@ func runSmoke(base string, clients int, instr uint64) error {
 				errs[i] = err
 				return
 			}
-			defer resp.Body.Close() //lvlint:ignore errdrop read-only response body close
+			defer resp.Body.Close()
 			data, err := io.ReadAll(resp.Body)
 			if err != nil {
 				errs[i] = err
@@ -206,7 +206,7 @@ func runSmoke(base string, clients int, instr uint64) error {
 	if err != nil {
 		return err
 	}
-	defer resp.Body.Close() //lvlint:ignore errdrop read-only response body close
+	defer resp.Body.Close()
 	var st serve.Stats
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 		return fmt.Errorf("stats: %w", err)

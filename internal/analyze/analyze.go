@@ -156,6 +156,10 @@ func All() []*Analyzer {
 		ChanFlow,
 		WGBalance,
 		SharedCapture,
+		Eventflow,
+		Serveflow,
+		Frameflow,
+		Hotalloc,
 	}
 }
 

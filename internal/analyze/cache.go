@@ -18,7 +18,7 @@ import (
 // entry FORMAT changes (new fields, different serialization). Analyzer
 // semantics are covered separately by AnalyzerVersion, which needs no
 // manual bump.
-const cacheSchemaVersion = "lvlint-cache-v2"
+const cacheSchemaVersion = "lvlint-cache-v3"
 
 // AnalyzerVersion fingerprints the analyzer implementation actually
 // running: the hash of the lvlint executable itself. Editing any check
@@ -39,7 +39,6 @@ func AnalyzerVersion() string {
 		if err != nil {
 			return
 		}
-		//lvlint:ignore errdrop read-only hash of our own executable; a Close error cannot corrupt anything
 		defer f.Close()
 		h := sha256.New()
 		if _, err := io.Copy(h, f); err != nil {
@@ -147,6 +146,16 @@ type cachedDiag struct {
 	Message  string `json:"message"`
 }
 
+// cacheEntry is the on-disk envelope. Schema and Analyzer restate two
+// of the key's ingredients in readable form so GC can tell a stale
+// entry (old binary, old format) from one that merely belongs to a
+// different source state.
+type cacheEntry struct {
+	Schema   string       `json:"schema"`
+	Analyzer string       `json:"analyzer"`
+	Diags    []cachedDiag `json:"diags"`
+}
+
 // Get loads the cached diagnostics for key; ok is false on any miss or
 // decode problem (a corrupt entry is just a miss).
 func (c *Cache) Get(root, key string) ([]Diagnostic, bool) {
@@ -154,12 +163,12 @@ func (c *Cache) Get(root, key string) ([]Diagnostic, bool) {
 	if err != nil {
 		return nil, false
 	}
-	var cached []cachedDiag
-	if err := json.Unmarshal(data, &cached); err != nil {
+	var entry cacheEntry
+	if err := json.Unmarshal(data, &entry); err != nil || entry.Schema != cacheSchemaVersion {
 		return nil, false
 	}
-	diags := make([]Diagnostic, 0, len(cached))
-	for _, cd := range cached {
+	diags := make([]Diagnostic, 0, len(entry.Diags))
+	for _, cd := range entry.Diags {
 		d := Diagnostic{Check: cd.Check, Message: cd.Message}
 		d.Position.Filename = filepath.Join(root, filepath.FromSlash(cd.Filename))
 		d.Position.Offset = cd.Offset
@@ -173,7 +182,7 @@ func (c *Cache) Get(root, key string) ([]Diagnostic, bool) {
 // Put stores the diagnostics for key and prunes old entries. Failures
 // are returned but safe to ignore — the cache is an accelerator, not a
 // correctness dependency.
-func (c *Cache) Put(root, key string, diags []Diagnostic) error {
+func (c *Cache) Put(root, key, analyzerVersion string, diags []Diagnostic) error {
 	cached := make([]cachedDiag, 0, len(diags))
 	for _, d := range diags {
 		rel, err := filepath.Rel(root, d.Position.Filename)
@@ -189,7 +198,7 @@ func (c *Cache) Put(root, key string, diags []Diagnostic) error {
 			Message:  d.Message,
 		})
 	}
-	data, err := json.MarshalIndent(cached, "", "  ")
+	data, err := json.MarshalIndent(cacheEntry{Schema: cacheSchemaVersion, Analyzer: analyzerVersion, Diags: cached}, "", "  ")
 	if err != nil {
 		return err
 	}
@@ -205,6 +214,40 @@ func (c *Cache) Put(root, key string, diags []Diagnostic) error {
 	}
 	c.prune(32)
 	return nil
+}
+
+// GC removes entries that can never be hit again by the running
+// binary: entries written under a different cache schema or a
+// different analyzer fingerprint (both are key ingredients, so such an
+// entry's key is unreachable now), plus orphaned .tmp files from
+// interrupted writes. Entries for other source states under the
+// current binary survive — switching branches back should stay warm.
+// Runs at CLI startup; failures are silent (the cache is best-effort).
+func (c *Cache) GC(analyzerVersion string) {
+	ents, err := os.ReadDir(c.dir)
+	if err != nil {
+		return
+	}
+	for _, e := range ents {
+		name := e.Name()
+		if strings.HasSuffix(name, ".tmp") {
+			_ = os.Remove(filepath.Join(c.dir, name))
+			continue
+		}
+		if !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		path := filepath.Join(c.dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		var entry cacheEntry
+		if err := json.Unmarshal(data, &entry); err != nil ||
+			entry.Schema != cacheSchemaVersion || entry.Analyzer != analyzerVersion {
+			_ = os.Remove(path)
+		}
+	}
 }
 
 // prune keeps the most recently modified keep entries.

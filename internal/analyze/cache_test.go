@@ -52,7 +52,7 @@ func TestCacheKeyChangesWithAnalyzerVersion(t *testing.T) {
 
 	// The stale entry under the old key must not be served for the new
 	// key: a Put under build A misses under build B's key.
-	if err := c.Put(root, k1, []Diagnostic{{Check: "detflow", Message: "old finding"}}); err != nil {
+	if err := c.Put(root, k1, "analyzer-build-A", []Diagnostic{{Check: "detflow", Message: "old finding"}}); err != nil {
 		t.Fatal(err)
 	}
 	if diags, ok := c.Get(root, k1); !ok || len(diags) != 1 {
@@ -92,5 +92,55 @@ func TestAnalyzerVersionStable(t *testing.T) {
 	v1, v2 := AnalyzerVersion(), AnalyzerVersion()
 	if v1 == "" || v1 != v2 {
 		t.Fatalf("AnalyzerVersion not stable: %q vs %q", v1, v2)
+	}
+}
+
+// TestCacheGC is the regression test for startup garbage collection:
+// entries written by an older binary (different analyzer fingerprint),
+// pre-envelope entries (old schema), and orphaned .tmp files must be
+// removed, while entries from the current binary — including ones for
+// other source states — survive.
+func TestCacheGC(t *testing.T) {
+	root := writeModule(t)
+	c := OpenCache(root)
+
+	current := "analyzer-build-current"
+	keep1 := "k-current-source-a"
+	keep2 := "k-current-source-b"
+	stale := "k-old-binary"
+	if err := c.Put(root, keep1, current, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(root, keep2, current, []Diagnostic{{Check: "detflow", Message: "m"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(root, stale, "analyzer-build-old", nil); err != nil {
+		t.Fatal(err)
+	}
+	// A pre-envelope entry (bare array) and an interrupted write.
+	legacy := filepath.Join(root, ".lvlint-cache", "k-legacy-schema.json")
+	if err := os.WriteFile(legacy, []byte("[]"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	orphan := filepath.Join(root, ".lvlint-cache", "k-orphan.tmp")
+	if err := os.WriteFile(orphan, []byte("{"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c.GC(current)
+
+	for _, key := range []string{keep1, keep2} {
+		if _, ok := c.Get(root, key); !ok {
+			t.Errorf("GC removed a current-binary entry %q", key)
+		}
+	}
+	if _, ok := c.Get(root, stale); ok {
+		t.Error("GC kept an entry from an older analyzer binary")
+	}
+	if _, err := os.Stat(legacy); !os.IsNotExist(err) {
+		t.Error("GC kept a pre-envelope (old schema) entry")
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Error("GC kept an orphaned .tmp file")
 	}
 }

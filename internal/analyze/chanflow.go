@@ -21,7 +21,11 @@ import (
 // be closed" findings name a real path, while nil findings require the
 // nil state on every path (must) to avoid flagging half-initialized
 // branches. Channels are tracked by canonical name (flow.ExprKey);
-// reassignment or passing the channel to a call resets to unknown.
+// reassignment or passing the channel to a call sets an explicit Top
+// bit rather than deleting the key — a deleted key rejoins a one-sided
+// fact as if the unknown path never existed, which used to turn
+// "nil here, armed on the other path" select guards into false
+// must-nil findings.
 // Close of a receive-only channel is a compile error in Go, so it
 // needs no check here — the type checker rejects it first.
 var ChanFlow = &Analyzer{
@@ -35,6 +39,7 @@ const (
 	chanNil    uint8 = 1 << iota // declared but never made
 	chanOpen                     // made, not closed
 	chanClosed                   // close has executed
+	chanTop                      // unknown: reassigned from a call/field, or escaped to one
 )
 
 // chanEnv maps canonical channel names to their possible states.
@@ -259,7 +264,7 @@ func bindChan(info *types.Info, lhs, rhs ast.Expr, env chanEnv) {
 			env[key] = chanOpen
 			return
 		}
-		delete(env, key)
+		env[key] = chanTop
 	case *ast.Ident:
 		if rhs.Name == "nil" {
 			env[key] = chanNil
@@ -270,8 +275,8 @@ func bindChan(info *types.Info, lhs, rhs ast.Expr, env chanEnv) {
 			env[key] = st
 			return
 		}
-		delete(env, key)
+		env[key] = chanTop
 	default:
-		delete(env, key)
+		env[key] = chanTop
 	}
 }

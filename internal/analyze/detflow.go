@@ -149,15 +149,28 @@ func (s *detSummary) equal(o *detSummary) bool {
 	return true
 }
 
-// detShared is the Prepare product: the module-wide function index and
-// converged summaries, read-only during the per-package Run phase.
+// detShared is the Prepare product: the module-wide function index,
+// converged summaries, and per-declaration value summaries (alias
+// classes), all read-only during the per-package Run phase.
 type detShared struct {
 	ix   *flow.Index
 	sums map[*types.Func]*detSummary
+	vals map[*ast.FuncDecl]*flow.FuncValues
 }
 
 func prepareDetflow(mod *Module) any {
-	sh := &detShared{ix: flow.NewIndex(mod.Sources()), sums: map[*types.Func]*detSummary{}}
+	sh := &detShared{
+		ix:   flow.NewIndex(mod.Sources()),
+		sums: map[*types.Func]*detSummary{},
+		vals: map[*ast.FuncDecl]*flow.FuncValues{},
+	}
+	// Value summaries are flow-insensitive and body-local: build each
+	// once, outside the summary fixpoint.
+	for _, fi := range sh.ix.Funcs() {
+		if fi.Decl.Body != nil {
+			sh.vals[fi.Decl] = flow.NewFuncValues(fi.Info, fi.Decl.Body)
+		}
+	}
 	sh.ix.Fixpoint(func(fi *flow.FuncInfo) bool {
 		if fi.Decl.Body == nil {
 			return false
@@ -250,12 +263,26 @@ type detFunc struct {
 
 	params []types.Object // receiver-first parameter objects
 	sum    *detSummary
+	// vals is the declaration's value summary: taint facts are keyed by
+	// alias-class representative, so a fact set through one name (q :=
+	// p; q.n = tainted) is visible through every alias, and sorting an
+	// alias sanitizes the whole class.
+	vals *flow.FuncValues
 	// selectComms marks comm-clause statements of multi-arm selects
 	// (scheduler-picked receives).
 	selectComms map[ast.Stmt]bool
 }
 
 type taintEnv map[types.Object]taintVal
+
+// rep canonicalizes an object to its alias-class representative; env
+// reads and writes go through it so plain copies share one fact slot.
+func (a *detFunc) rep(obj types.Object) types.Object {
+	if obj == nil || a.vals == nil {
+		return obj
+	}
+	return a.vals.Rep(obj)
+}
 
 func copyEnv(e taintEnv) taintEnv {
 	out := make(taintEnv, len(e))
@@ -273,6 +300,10 @@ func (a *detFunc) analyze(pass *Pass) *detSummary {
 		block, ftype, isLit = a.body.Block, a.body.Type, a.body.Lit != nil
 	}
 	a.sum = &detSummary{paramSinks: map[int][]sinkRef{}}
+	a.vals = a.shared.vals[a.fn]
+	if a.vals == nil {
+		a.vals = flow.NewFuncValues(a.info, a.fn.Body)
+	}
 	a.params = nil
 	if !isLit {
 		if a.fn.Recv != nil {
@@ -409,7 +440,7 @@ func (a *detFunc) step(n ast.Node, env taintEnv, emit bool) {
 						v = a.eval(vs.Values[0], env, emit)
 					}
 					if obj := a.info.Defs[name]; obj != nil {
-						env[obj] = v
+						env[a.rep(obj)] = v
 					}
 				}
 			}
@@ -492,7 +523,7 @@ func (a *detFunc) bind(lhs ast.Expr, v taintVal, env taintEnv) {
 			obj = a.info.Uses[lhs]
 		}
 		if obj != nil {
-			env[obj] = v
+			env[a.rep(obj)] = v
 		}
 	case *ast.IndexExpr:
 		a.taintTarget(lhs.X, v, env)
@@ -512,7 +543,7 @@ func (a *detFunc) taintTarget(e ast.Expr, v taintVal, env taintEnv) {
 	if !v.real() && v.params == 0 {
 		return
 	}
-	if obj := rootObj(a.info, e); obj != nil {
+	if obj := a.rep(rootObj(a.info, e)); obj != nil {
 		env[obj] = joinTaint(env[obj], v)
 	}
 }
@@ -581,7 +612,7 @@ func (a *detFunc) returns(n *ast.ReturnStmt, env taintEnv, emit bool) {
 		if ftype.Results != nil {
 			for _, f := range ftype.Results.List {
 				for _, name := range f.Names {
-					vals = append(vals, env[a.info.Defs[name]])
+					vals = append(vals, env[a.rep(a.info.Defs[name])])
 				}
 			}
 		}
@@ -624,7 +655,7 @@ func (a *detFunc) eval(e ast.Expr, env taintEnv, emit bool) taintVal {
 		return taintVal{}
 	case *ast.Ident:
 		if obj := a.info.Uses[e]; obj != nil {
-			return env[obj]
+			return env[a.rep(obj)]
 		}
 		return taintVal{}
 	case *ast.BasicLit:
@@ -735,7 +766,10 @@ func (a *detFunc) evalCall(call *ast.CallExpr, env taintEnv, emit bool) []taintV
 			// taint: clear it on the sorted argument.
 			if strings.HasPrefix(name, "Sort") || name == "Strings" || name == "Ints" || name == "Float64s" || name == "Slice" || name == "SliceStable" || name == "Stable" {
 				if len(call.Args) > 0 {
-					if obj := rootObj(a.info, call.Args[0]); obj != nil {
+					// The alias representative: sorting a plain copy of a
+					// slice sorts the shared backing array, so the whole
+					// class is sanitized.
+					if obj := a.rep(rootObj(a.info, call.Args[0])); obj != nil {
 						env[obj] = stripOrder(env[obj])
 					}
 				}

@@ -3,6 +3,7 @@ package analyze
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // ErrDrop flags call statements that silently discard an error result —
@@ -12,12 +13,19 @@ import (
 // strings.Builder / bytes.Buffer writers (whose errors are vacuous) are
 // exempt, as is (*tabwriter.Writer).Flush on best-effort CLI tables.
 //
-// `defer f.Close()` on an *os.File gets origin-aware messages: when f
-// was opened for writing (os.Create, os.OpenFile) the deferred Close
-// swallows the final flush error — the write looks durable but isn't —
-// so the finding says to close explicitly on the success path. A
-// read-only file's Close error is inconsequential; that finding exists
-// only so the author acknowledges it with an //lvlint:ignore + reason.
+// `defer f.Close()` on an *os.File is origin-aware: when f was opened
+// for writing (os.Create, os.OpenFile) the deferred Close swallows the
+// final flush error — the write looks durable but isn't — so the
+// finding says to close explicitly on the success path. A file opened
+// with os.Open is read-only and its Close error cannot lose data, so
+// that defer is silently allowed; only files of unknown origin (e.g.
+// parameters) still ask for an //lvlint:ignore acknowledgement.
+//
+// The same reasoning generalizes past *os.File: a deferred Close on
+// any receiver whose method set has no write-side methods (Write*,
+// Flush, Sync, Commit) — an io.ReadCloser like an HTTP response body,
+// sql.Rows — cannot lose buffered data and is allowed without
+// ceremony.
 var ErrDrop = &Analyzer{
 	Name: "errdrop",
 	Doc:  "discarded error returns outside tests",
@@ -52,9 +60,15 @@ func runErrDrop(pass *Pass) {
 					switch origins[obj] {
 					case originWrite:
 						pass.Reportf(call.Pos(), "defer %s on a file opened for writing drops the final flush error — the write can silently be lost; close explicitly on the success path and check the error", calleeName(call))
+					case originRead:
+						// os.Open: closing a read-only file cannot lose
+						// data; the dropped error is vacuous.
 					default:
-						pass.Reportf(call.Pos(), "defer %s drops Close's error; for a read-only file this is usually fine — acknowledge with //lvlint:ignore errdrop <reason>", calleeName(call))
+						pass.Reportf(call.Pos(), "defer %s drops Close's error on a file of unknown origin; if it may be open for writing close explicitly, otherwise acknowledge with //lvlint:ignore errdrop <reason>", calleeName(call))
 					}
+					return true
+				}
+				if readOnlyCloser(info, call) {
 					return true
 				}
 			}
@@ -133,6 +147,53 @@ func fileCloseRecv(info *types.Info, call *ast.CallExpr) (types.Object, bool) {
 		return nil, false
 	}
 	return obj, true
+}
+
+// readOnlyCloser reports whether call is a niladic Close method
+// returning only error on a receiver whose method set has no
+// write-side methods (Write*, Flush, Sync, Commit). Closing such a
+// value — an io.ReadCloser response body, sql.Rows — cannot lose
+// buffered data, so the deferred error drop is harmless by
+// construction. *os.File never matches (it has Write); the origin
+// rules above govern files.
+func readOnlyCloser(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Close" {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	if sig.Recv() == nil || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+		return false
+	}
+	// Scan the receiver EXPRESSION's static type, not the method's
+	// declared receiver: io.WriteCloser resolves Close to io.Closer,
+	// whose own method set would hide the Write next to it.
+	t := info.TypeOf(sel.X)
+	if t == nil || hasWriteSide(t) {
+		return false
+	}
+	// Value types can still reach pointer-receiver write methods.
+	if _, isIface := t.Underlying().(*types.Interface); !isIface {
+		if _, isPtr := t.(*types.Pointer); !isPtr && hasWriteSide(types.NewPointer(t)) {
+			return false
+		}
+	}
+	return true
+}
+
+func hasWriteSide(t types.Type) bool {
+	ms := types.NewMethodSet(t)
+	for i := 0; i < ms.Len(); i++ {
+		name := ms.At(i).Obj().Name()
+		if name == "Flush" || name == "Sync" || name == "Commit" || strings.HasPrefix(name, "Write") {
+			return true
+		}
+	}
+	return false
 }
 
 var errorType = types.Universe.Lookup("error").Type()

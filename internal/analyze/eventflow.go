@@ -1,0 +1,351 @@
+package analyze
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analyze/flow"
+)
+
+// Eventflow enforces the event kernel's determinism and wiring
+// protocol inside handlers. A handler is a function literal installed
+// as a Port's OnRecv hook or passed to Engine.Schedule; it runs at a
+// simulated timestamp, so anything that observes the host — wall-clock
+// time, the global math/rand stream, map iteration order — makes the
+// run unreplayable. Two more rules catch wiring bugs: scheduling at
+// `at - d` lands in the past (the engine clamps it to Now, silently
+// reordering events), and a port created in a function that neither
+// Connects it nor hands it to anyone can only ever return
+// ErrUnconnected from Send.
+//
+// Event types are matched by name (Port, Engine, Time) in any package
+// whose import path ends in "event", so the fixtures' miniature kernel
+// exercises the same code paths as internal/event.
+var Eventflow = &Analyzer{
+	Name: "eventflow",
+	Doc:  "determinism and wiring protocol inside event handlers",
+	Run:  runEventflow,
+}
+
+func runEventflow(pass *Pass) {
+	info := pass.TypesInfo()
+	for _, file := range pass.Files() {
+		handlers, set := eventHandlers(info, file)
+		for _, h := range handlers {
+			checkEventHandler(pass, info, h, set)
+		}
+		for _, decl := range file.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkPortWiring(pass, info, fd)
+			}
+		}
+	}
+}
+
+// eventHandlers collects the function literals that run at simulated
+// time: OnRecv hook assignments and Engine.Schedule arguments.
+func eventHandlers(info *types.Info, file *ast.File) ([]*ast.FuncLit, map[*ast.FuncLit]bool) {
+	var out []*ast.FuncLit
+	set := map[*ast.FuncLit]bool{}
+	add := func(lit *ast.FuncLit) {
+		if lit != nil && !set[lit] {
+			set[lit] = true
+			out = append(out, lit)
+		}
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				sel, ok := lhs.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "OnRecv" || !isEventType(info.TypeOf(sel.X), "Port") {
+					continue
+				}
+				if i < len(n.Rhs) {
+					lit, _ := n.Rhs[i].(*ast.FuncLit)
+					add(lit)
+				}
+			}
+		case *ast.CallExpr:
+			if isEngineSchedule(info, n) {
+				for _, arg := range n.Args {
+					lit, _ := arg.(*ast.FuncLit)
+					add(lit)
+				}
+			}
+		}
+		return true
+	})
+	return out, set
+}
+
+// isEventType reports whether t is (a pointer to) the named type from
+// a package whose path ends in "event".
+func isEventType(t types.Type, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Name() == name && pkgTail(named.Obj().Pkg().Path(), "event")
+}
+
+// isEngineSchedule matches eng.Schedule(at, fn) on an event Engine.
+func isEngineSchedule(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Schedule" {
+		return false
+	}
+	return isEventType(info.TypeOf(sel.X), "Engine")
+}
+
+// checkEventHandler walks one handler body. Nested literals that are
+// themselves registered handlers are skipped — they get their own walk.
+func checkEventHandler(pass *Pass, info *types.Info, lit *ast.FuncLit, set map[*ast.FuncLit]bool) {
+	vals := flow.NewFuncValues(info, lit.Body)
+	timeParams := map[types.Object]bool{}
+	for _, field := range lit.Type.Params.List {
+		if !isEventType(info.TypeOf(field.Type), "Time") {
+			continue
+		}
+		for _, name := range field.Names {
+			if obj := info.Defs[name]; obj != nil {
+				timeParams[obj] = true
+			}
+		}
+	}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if inner, ok := n.(*ast.FuncLit); ok && inner != lit && set[inner] {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if _, ok := info.TypeOf(n.X).Underlying().(*types.Map); ok && !keyCollect(n) {
+				d := pass.report(n.Pos(), "map iteration order inside an event handler varies between runs; collect and sort the keys instead")
+				if fix, ok := sortedRangeFix(pass, n.Pos()); ok {
+					d.Fixes = append(d.Fixes, fix)
+				}
+			}
+		case *ast.CallExpr:
+			switch {
+			case pkgFunc(info, n, "time", "Now"):
+				pass.Reportf(n.Pos(), "wall-clock time.Now inside an event handler breaks replay; use the handler's simulated timestamp")
+			case globalRandCall(info, n):
+				pass.Reportf(n.Pos(), "unseeded global math/rand.%s inside an event handler draws from shared state; use a per-run rand.New(rand.NewSource(seed))", calleeName(n))
+			case isEngineSchedule(info, n) && len(n.Args) > 0:
+				if at := pastTick(info, vals, n.Args[0], timeParams); at != "" {
+					pass.Reportf(n.Pos(), "schedules at %s minus an offset — a past tick is silently clamped to Now, reordering events; add the delay to the current time instead", at)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// keyCollect recognizes the sanctioned collect-then-sort idiom — the
+// exact shape the suggested fix produces:
+//
+//	for k := range m {
+//		keys = append(keys, k)
+//	}
+//
+// Append order does not matter here (the slice is sorted before use),
+// so the map range is harmless; reporting it would make -fix
+// non-convergent, with every applied rewrite spawning a new finding.
+func keyCollect(rs *ast.RangeStmt) bool {
+	if rs.Value != nil || len(rs.Body.List) != 1 {
+		return false
+	}
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return false
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	lhs, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 || call.Ellipsis.IsValid() {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok || fn.Name != "append" {
+		return false
+	}
+	dst, okDst := call.Args[0].(*ast.Ident)
+	arg, okArg := call.Args[1].(*ast.Ident)
+	return okDst && okArg && dst.Name == lhs.Name && arg.Name == key.Name
+}
+
+// globalRandCall matches package-level math/rand functions that draw
+// from the shared default source. Constructors are exempt.
+func globalRandCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "math/rand" {
+		return false
+	}
+	if fn.Type().(*types.Signature).Recv() != nil {
+		return false
+	}
+	switch fn.Name() {
+	case "New", "NewSource", "NewZipf":
+		return false
+	}
+	return true
+}
+
+// pastTick reports the time parameter's name when the schedule
+// argument resolves to `at - d` with at a handler Time parameter.
+func pastTick(info *types.Info, vals *flow.FuncValues, arg ast.Expr, timeParams map[types.Object]bool) string {
+	bin, ok := vals.Resolve(arg).(*ast.BinaryExpr)
+	if !ok || bin.Op != token.SUB {
+		return ""
+	}
+	obj := rootObj(info, bin.X)
+	if obj == nil || !timeParams[obj] {
+		return ""
+	}
+	return obj.Name()
+}
+
+// checkPortWiring flags Send on a port that this function created with
+// NewPort but neither Connected nor let escape (returned, stored,
+// passed along) — such a Send can only return ErrUnconnected.
+func checkPortWiring(pass *Pass, info *types.Info, fd *ast.FuncDecl) {
+	type portState struct {
+		def       token.Pos
+		connected bool
+		escaped   bool
+		sends     []token.Pos
+	}
+	ports := map[types.Object]*portState{}
+	// Pass 1: find NewPort-defined locals.
+	ast.Inspect(fd, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 1 {
+			return true
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok || !eventPkgCall(info, call, "NewPort") {
+			return true
+		}
+		if id, ok := as.Lhs[0].(*ast.Ident); ok {
+			if obj := info.Defs[id]; obj != nil {
+				ports[obj] = &portState{def: id.Pos()}
+			}
+		}
+		return true
+	})
+	if len(ports) == 0 {
+		return
+	}
+	// Pass 2: classify every use. A use that is neither the defining
+	// ident, a method selector, nor a Connect argument is an escape.
+	selParent := map[*ast.Ident]*ast.SelectorExpr{}
+	connectArg := map[*ast.Ident]bool{}
+	ast.Inspect(fd, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if id, ok := n.X.(*ast.Ident); ok {
+				selParent[id] = n
+			}
+		case *ast.CallExpr:
+			if eventPkgCall(info, n, "Connect") {
+				for _, arg := range n.Args {
+					if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+						connectArg[id] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	ast.Inspect(fd, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		st := ports[info.Uses[id]]
+		if st == nil {
+			return true
+		}
+		switch {
+		case connectArg[id]:
+			st.connected = true
+		case selParent[id] != nil:
+			if selParent[id].Sel.Name == "Send" {
+				st.sends = append(st.sends, selParent[id].Pos())
+			}
+		default:
+			st.escaped = true
+		}
+		return true
+	})
+	for _, obj := range sortedObjs(ports) {
+		st := ports[obj]
+		if st.connected || st.escaped {
+			continue
+		}
+		for _, pos := range st.sends {
+			pass.Reportf(pos, "%s.Send on a port created here but never Connected in this function — it can only return ErrUnconnected", obj.Name())
+		}
+	}
+}
+
+// eventPkgCall matches a call to name in a package whose path ends in
+// "event", unwrapping explicit generic instantiation.
+func eventPkgCall(info *types.Info, call *ast.CallExpr, name string) bool {
+	fun := ast.Unparen(call.Fun)
+	switch f := fun.(type) {
+	case *ast.IndexExpr:
+		fun = f.X
+	case *ast.IndexListExpr:
+		fun = f.X
+	}
+	var obj types.Object
+	switch f := fun.(type) {
+	case *ast.SelectorExpr:
+		obj = info.Uses[f.Sel]
+	case *ast.Ident:
+		obj = info.Uses[f]
+	default:
+		return false
+	}
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	return fn.Name() == name && pkgTail(fn.Pkg().Path(), "event")
+}
+
+// pkgTail reports whether path's final slash-separated segment is tail.
+func pkgTail(path, tail string) bool {
+	return path == tail || strings.HasSuffix(path, "/"+tail)
+}
+
+// sortedObjs returns map keys in declaration order for deterministic
+// reporting.
+func sortedObjs[V any](m map[types.Object]V) []types.Object {
+	out := make([]types.Object, 0, len(m))
+	for obj := range m {
+		out = append(out, obj)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Pos() < out[j-1].Pos(); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,429 @@
+package flow
+
+// SSA-lite value and alias analysis: a flow-insensitive, per-function
+// summary of where each local gets its values, which locals are plain
+// copies of one another, and what each pointer may point at. It is the
+// precision layer under the v3 checks — facts survive assignment
+// through locals (`m := &s.mu; m.Lock()` locks s.mu, `q := p; q.n++`
+// writes p's pointee) instead of dying at the first copy.
+//
+// Three pieces, all stdlib-only and deliberately modest:
+//
+//   - Def-use: per-object assignment counts and, for single-assignment
+//     locals, the defining RHS expression. Resolve() value-numbers an
+//     expression through parentheses, conversions and single-def
+//     locals back to the expression that produced the value.
+//   - Alias classes: a union-find over reference-typed objects joined
+//     by plain copies (p2 := p, p2 = p). Classes are may-alias — the
+//     right sense for the may-analyses (sharedcapture conflicts,
+//     detflow taint) that consume them.
+//   - Points-to: an Andersen-style set per pointer object, seeded by
+//     &lvalue defs and propagated over copies to a fixpoint. A pointer
+//     whose defs are not all visible (parameters, fields, call
+//     results, address-taken locals) is Top. CanonKey() uses the sets
+//     in must-mode: only a single-pointee, non-Top pointer
+//     canonicalizes to its pointee's lvalue key.
+//
+// The summary is built over one declaration body including its nested
+// function literals: objects are shared across the closure boundary,
+// and that is exactly where the concurrency checks need alias facts.
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+)
+
+// FuncValues is the per-function value/alias summary.
+type FuncValues struct {
+	info *types.Info
+
+	// defs counts assignments per object (declarations, =, :=, ++/--,
+	// range bindings). defRHS holds the defining expression of objects
+	// with exactly one def from a 1:1 assignment; nil otherwise.
+	defs   map[types.Object]int
+	defRHS map[types.Object]ast.Expr
+
+	// addrTaken marks objects whose address escapes (&x outside a
+	// method-receiver position): their value can change through the
+	// pointer, so single-def reasoning no longer applies.
+	addrTaken map[types.Object]bool
+
+	// parent/members implement the union-find alias classes.
+	parent  map[types.Object]types.Object
+	members map[types.Object][]types.Object
+
+	// pts are the Andersen points-to sets (lvalue keys per ExprKey);
+	// ptsTop marks pointers with unknown pointees.
+	pts    map[types.Object]map[string]bool
+	ptsTop map[types.Object]bool
+}
+
+// copyEdge is one pointer copy dst = src collected for the points-to
+// fixpoint.
+type copyEdge struct{ dst, src types.Object }
+
+// NewFuncValues builds the summary over one function body (a
+// declaration's block or a function literal's), descending into nested
+// literals.
+func NewFuncValues(info *types.Info, body *ast.BlockStmt) *FuncValues {
+	v := &FuncValues{
+		info:      info,
+		defs:      map[types.Object]int{},
+		defRHS:    map[types.Object]ast.Expr{},
+		addrTaken: map[types.Object]bool{},
+		parent:    map[types.Object]types.Object{},
+		members:   map[types.Object][]types.Object{},
+		pts:       map[types.Object]map[string]bool{},
+		ptsTop:    map[types.Object]bool{},
+	}
+	if body == nil {
+		return v
+	}
+	var edges []copyEdge
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			v.assign(n, &edges)
+		case *ast.GenDecl:
+			for _, spec := range n.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					v.valueSpec(vs, &edges)
+				}
+			}
+		case *ast.IncDecStmt:
+			v.def(v.objOf(n.X), nil)
+		case *ast.RangeStmt:
+			v.def(v.objOf(n.Key), nil)
+			v.def(v.objOf(n.Value), nil)
+		case *ast.UnaryExpr:
+			if n.Op.String() == "&" {
+				if obj := v.objOf(n.X); obj != nil {
+					v.addrTaken[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	v.solvePointsTo(edges)
+	return v
+}
+
+// assign records one assignment statement: def counts, def RHS, alias
+// unions for reference copies, and points-to copy edges.
+func (v *FuncValues) assign(n *ast.AssignStmt, edges *[]copyEdge) {
+	if len(n.Lhs) != len(n.Rhs) {
+		// Multi-value assignment (call, map index, type assert): every
+		// target is defined by an expression we cannot name.
+		for _, lhs := range n.Lhs {
+			v.def(v.objOf(lhs), nil)
+		}
+		return
+	}
+	for i, lhs := range n.Lhs {
+		rhs := ast.Unparen(n.Rhs[i])
+		obj := v.objOf(lhs)
+		v.def(obj, rhs)
+		if obj == nil {
+			continue
+		}
+		if src := v.objOf(rhs); src != nil && src != obj && referenceLike(obj.Type()) {
+			v.union(obj, src)
+		}
+		v.pointerDef(obj, rhs, edges)
+	}
+}
+
+// valueSpec records a var declaration (with or without initializers).
+func (v *FuncValues) valueSpec(vs *ast.ValueSpec, edges *[]copyEdge) {
+	for i, name := range vs.Names {
+		obj := v.info.Defs[name]
+		if obj == nil || name.Name == "_" {
+			continue
+		}
+		var rhs ast.Expr
+		if len(vs.Values) == len(vs.Names) {
+			rhs = ast.Unparen(vs.Values[i])
+		} else if len(vs.Values) > 0 {
+			// var a, b = f(): unnameable defs.
+			v.def(obj, nil)
+			continue
+		}
+		// A bare `var x T` is the zero value: count the def but keep no
+		// RHS (there is no expression to resolve to). For pointers the
+		// zero value is nil, which adds no pointees.
+		v.defs[obj]++
+		if rhs != nil {
+			if v.defs[obj] == 1 {
+				v.defRHS[obj] = rhs
+			} else {
+				v.defRHS[obj] = nil
+			}
+			if src := v.objOf(rhs); src != nil && src != obj && referenceLike(obj.Type()) {
+				v.union(obj, src)
+			}
+			v.pointerDef(obj, rhs, edges)
+		}
+	}
+}
+
+// def counts one definition of obj with the given RHS (nil when the
+// value has no nameable source).
+func (v *FuncValues) def(obj types.Object, rhs ast.Expr) {
+	if obj == nil {
+		return
+	}
+	v.defs[obj]++
+	if v.defs[obj] == 1 {
+		v.defRHS[obj] = rhs
+	} else {
+		v.defRHS[obj] = nil
+	}
+}
+
+// pointerDef feeds one def of a pointer-typed object into the
+// points-to builder: &lvalue seeds a pointee, a pointer copy adds an
+// edge, nil adds nothing, anything else poisons the object to Top.
+func (v *FuncValues) pointerDef(obj types.Object, rhs ast.Expr, edges *[]copyEdge) {
+	if _, ok := obj.Type().Underlying().(*types.Pointer); !ok {
+		return
+	}
+	switch rhs := rhs.(type) {
+	case *ast.UnaryExpr:
+		if rhs.Op.String() == "&" {
+			if key := ExprKey(rhs.X); key != "" {
+				if v.pts[obj] == nil {
+					v.pts[obj] = map[string]bool{}
+				}
+				v.pts[obj][key] = true
+				return
+			}
+		}
+		v.ptsTop[obj] = true
+	case *ast.Ident:
+		if rhs.Name == "nil" {
+			return
+		}
+		if src := v.objOf(rhs); src != nil {
+			*edges = append(*edges, copyEdge{dst: obj, src: src})
+			return
+		}
+		v.ptsTop[obj] = true
+	default:
+		v.ptsTop[obj] = true
+	}
+}
+
+// solvePointsTo propagates pointee sets and Topness over the collected
+// copy edges to a fixpoint, then poisons address-taken pointers: a
+// pointer that escapes can be redirected behind the analysis's back.
+func (v *FuncValues) solvePointsTo(edges []copyEdge) {
+	// A pointer copied from an object with no visible defs (parameter,
+	// free variable, package global) has unknown pointees.
+	for _, e := range edges {
+		if v.defs[e.src] == 0 {
+			v.ptsTop[e.src] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, e := range edges {
+			if v.ptsTop[e.src] && !v.ptsTop[e.dst] {
+				v.ptsTop[e.dst] = true
+				changed = true
+			}
+			for key := range v.pts[e.src] {
+				if !v.pts[e.dst][key] {
+					if v.pts[e.dst] == nil {
+						v.pts[e.dst] = map[string]bool{}
+					}
+					v.pts[e.dst][key] = true
+					changed = true
+				}
+			}
+		}
+	}
+	for obj := range v.addrTaken {
+		if _, ok := obj.Type().Underlying().(*types.Pointer); ok {
+			v.ptsTop[obj] = true
+		}
+	}
+}
+
+// objOf resolves an expression to the variable object it names, or nil.
+func (v *FuncValues) objOf(e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if obj := v.info.Defs[id]; obj != nil {
+		return obj
+	}
+	if obj, ok := v.info.Uses[id].(*types.Var); ok {
+		return obj
+	}
+	return nil
+}
+
+// referenceLike reports whether values of t share underlying storage
+// when copied — the types for which a plain copy creates an alias.
+func referenceLike(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Slice, *types.Chan:
+		return true
+	}
+	return false
+}
+
+// find is the union-find root lookup with path compression.
+func (v *FuncValues) find(obj types.Object) types.Object {
+	p, ok := v.parent[obj]
+	if !ok || p == obj {
+		return obj
+	}
+	root := v.find(p)
+	v.parent[obj] = root
+	return root
+}
+
+// union merges the alias classes of a and b. The surviving root is the
+// object with the earlier declaration position, so class identity is
+// deterministic regardless of merge order.
+func (v *FuncValues) union(a, b types.Object) {
+	ra, rb := v.find(a), v.find(b)
+	if ra == rb {
+		return
+	}
+	if rb.Pos() < ra.Pos() {
+		ra, rb = rb, ra
+	}
+	v.parent[rb] = ra
+	if v.parent[ra] == nil {
+		v.parent[ra] = ra
+	}
+	ms := v.members[ra]
+	if len(ms) == 0 {
+		ms = []types.Object{ra}
+	}
+	other := v.members[rb]
+	if len(other) == 0 {
+		other = []types.Object{rb}
+	}
+	v.members[ra] = append(ms, other...)
+	delete(v.members, rb)
+}
+
+// Rep returns the canonical representative of obj's alias class (obj
+// itself when it aliases nothing). Analyses that key facts per object
+// key them per representative instead, so a fact set through one name
+// is visible through every alias.
+func (v *FuncValues) Rep(obj types.Object) types.Object {
+	if obj == nil {
+		return nil
+	}
+	return v.find(obj)
+}
+
+// SameClass reports whether a and b may alias (are in one copy class).
+func (v *FuncValues) SameClass(a, b types.Object) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	return v.find(a) == v.find(b)
+}
+
+// Class lists obj's alias class in declaration order (just obj when it
+// aliases nothing).
+func (v *FuncValues) Class(obj types.Object) []types.Object {
+	root := v.find(obj)
+	ms := v.members[root]
+	if len(ms) == 0 {
+		return []types.Object{obj}
+	}
+	out := make([]types.Object, len(ms))
+	copy(out, ms)
+	sort.Slice(out, func(i, j int) bool { return out[i].Pos() < out[j].Pos() })
+	return out
+}
+
+// Defs returns the number of assignments to obj seen in the body.
+func (v *FuncValues) Defs(obj types.Object) int { return v.defs[obj] }
+
+// DefRHS returns the defining expression of a single-assignment,
+// non-address-taken object, or nil.
+func (v *FuncValues) DefRHS(obj types.Object) ast.Expr {
+	if obj == nil || v.defs[obj] != 1 || v.addrTaken[obj] {
+		return nil
+	}
+	return v.defRHS[obj]
+}
+
+// Resolve value-numbers e back through parentheses, conversions, and
+// single-def locals to the expression that produced the value. The
+// depth cap bounds pathological chains; resolution stops at the first
+// expression that is not a transparent wrapper.
+func (v *FuncValues) Resolve(e ast.Expr) ast.Expr {
+	for depth := 0; depth < 16; depth++ {
+		e = ast.Unparen(e)
+		switch x := e.(type) {
+		case *ast.CallExpr:
+			// A conversion T(y) is transparent; a real call is a value
+			// source. The type checker knows which is which.
+			if len(x.Args) != 1 {
+				return e
+			}
+			if tv, ok := v.info.Types[x.Fun]; ok && tv.IsType() {
+				e = x.Args[0]
+				continue
+			}
+			return e
+		case *ast.Ident:
+			rhs := v.DefRHS(v.objOf(x))
+			if rhs == nil {
+				return e
+			}
+			e = rhs
+		default:
+			return e
+		}
+	}
+	return e
+}
+
+// Pointees returns the lvalue keys obj may point at, sorted, plus a
+// Top flag meaning the set is incomplete (unknown defs, escape).
+func (v *FuncValues) Pointees(obj types.Object) ([]string, bool) {
+	if obj == nil {
+		return nil, true
+	}
+	if _, ok := obj.Type().Underlying().(*types.Pointer); !ok {
+		return nil, true
+	}
+	top := v.ptsTop[obj]
+	if !top && v.defs[obj] == 0 {
+		top = true // parameter or free variable: defs invisible here
+	}
+	keys := make([]string, 0, len(v.pts[obj]))
+	for k := range v.pts[obj] {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys, top
+}
+
+// CanonKey canonicalizes an lvalue expression for lattice maps: a
+// pointer with exactly one known pointee keys as that pointee (`m :=
+// &s.mu; m.Lock()` keys as "s.mu"), anything else falls back to
+// ExprKey. The must-pointee restriction keeps this sound for must-hold
+// analyses: the alias rewrite only fires when the pointer provably
+// always designates that one lvalue.
+func (v *FuncValues) CanonKey(e ast.Expr) string {
+	if v != nil {
+		if obj := v.objOf(e); obj != nil {
+			if keys, top := v.Pointees(obj); !top && len(keys) == 1 {
+				return keys[0]
+			}
+		}
+	}
+	return ExprKey(e)
+}

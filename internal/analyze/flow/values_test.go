@@ -1,0 +1,175 @@
+package flow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// objNamed finds the first defined object with the given name.
+func objNamed(t *testing.T, info *types.Info, name string) types.Object {
+	t.Helper()
+	var out types.Object
+	for id, obj := range info.Defs {
+		if obj == nil || id.Name != name {
+			continue
+		}
+		if out == nil || obj.Pos() < out.Pos() {
+			out = obj
+		}
+	}
+	if out == nil {
+		t.Fatalf("no object named %q", name)
+	}
+	return out
+}
+
+// identNamed finds the first identifier with the given name inside body.
+func identNamed(t *testing.T, body *ast.BlockStmt, name string) *ast.Ident {
+	t.Helper()
+	var out *ast.Ident
+	ast.Inspect(body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name && out == nil {
+			out = id
+		}
+		return true
+	})
+	if out == nil {
+		t.Fatalf("no identifier named %q", name)
+	}
+	return out
+}
+
+func TestValuesAliasClasses(t *testing.T) {
+	_, body, info := typecheckBody(t, strings.Join([]string{
+		"package p",
+		"type S struct{ n int }",
+		"func f() {",
+		"\tp := &S{}",
+		"\tq := p",
+		"\tr := &S{}",
+		"\t_, _, _ = p, q, r",
+		"}",
+	}, "\n"))
+	v := NewFuncValues(info, body)
+	p := objNamed(t, info, "p")
+	q := objNamed(t, info, "q")
+	r := objNamed(t, info, "r")
+	if !v.SameClass(p, q) {
+		t.Error("q := p should alias p and q")
+	}
+	if v.SameClass(p, r) {
+		t.Error("independent pointers must not alias")
+	}
+	if v.Rep(q) != v.Rep(p) {
+		t.Error("alias class must share one representative")
+	}
+	if got := v.Class(q); len(got) != 2 || got[0] != p || got[1] != q {
+		t.Errorf("Class(q) = %v, want [p q] in declaration order", got)
+	}
+}
+
+func TestValuesPointsToCanonKey(t *testing.T) {
+	_, body, info := typecheckBody(t, strings.Join([]string{
+		"package p",
+		"import \"sync\"",
+		"type S struct{ mu sync.Mutex }",
+		"func f(s *S, other *sync.Mutex) {",
+		"\tm := &s.mu",
+		"\tlit := &sync.Mutex{}",
+		"\tmoved := &s.mu",
+		"\tif s != nil { moved = other }",
+		"\t_, _, _ = m, lit, moved",
+		"}",
+	}, "\n"))
+	v := NewFuncValues(info, body)
+
+	if got := v.CanonKey(identNamed(t, body, "m")); got != "s.mu" {
+		t.Errorf("CanonKey(m) = %q, want s.mu (single pointee)", got)
+	}
+	// A pointer to an unnameable lvalue stays keyed by its own name.
+	if got := v.CanonKey(identNamed(t, body, "lit")); got != "lit" {
+		t.Errorf("CanonKey(lit) = %q, want fallback lit", got)
+	}
+	// A pointer copied from a parameter has unknown pointees: fallback.
+	if got := v.CanonKey(identNamed(t, body, "moved")); got != "moved" {
+		t.Errorf("CanonKey(moved) = %q, want fallback moved", got)
+	}
+	keys, top := v.Pointees(objNamed(t, info, "m"))
+	if top || len(keys) != 1 || keys[0] != "s.mu" {
+		t.Errorf("Pointees(m) = %v top=%v, want [s.mu] false", keys, top)
+	}
+	if _, top := v.Pointees(objNamed(t, info, "moved")); !top {
+		t.Error("Pointees(moved) must be Top: one def comes from a parameter")
+	}
+}
+
+func TestValuesAddressTakenPoisonsMustFacts(t *testing.T) {
+	_, body, info := typecheckBody(t, strings.Join([]string{
+		"package p",
+		"import \"sync\"",
+		"type S struct{ mu sync.Mutex }",
+		"func g(pp **sync.Mutex) {}",
+		"func f(s *S) {",
+		"\tm := &s.mu",
+		"\tg(&m)",
+		"\t_ = m",
+		"}",
+	}, "\n"))
+	v := NewFuncValues(info, body)
+	if _, top := v.Pointees(objNamed(t, info, "m")); !top {
+		t.Error("address-taken pointer must be Top — the callee can redirect it")
+	}
+	if rhs := v.DefRHS(objNamed(t, info, "m")); rhs != nil {
+		t.Error("address-taken object must not expose a trusted single def")
+	}
+}
+
+func TestValuesResolve(t *testing.T) {
+	_, body, info := typecheckBody(t, strings.Join([]string{
+		"package p",
+		"func src() uint32 { return 7 }",
+		"func f() int {",
+		"\tn := src()",
+		"\tsize := int(n)",
+		"\tagain := (size)",
+		"\treturn again",
+		"}",
+	}, "\n"))
+	v := NewFuncValues(info, body)
+	var ret ast.Expr
+	ast.Inspect(body, func(n ast.Node) bool {
+		if r, ok := n.(*ast.ReturnStmt); ok {
+			ret = r.Results[0]
+		}
+		return true
+	})
+	got := v.Resolve(ret)
+	call, ok := got.(*ast.CallExpr)
+	if !ok {
+		t.Fatalf("Resolve(again) = %T, want the src() call through the conversion chain", got)
+	}
+	if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "src" {
+		t.Fatalf("Resolve(again) resolved to call of %v, want src", call.Fun)
+	}
+}
+
+func TestValuesReassignedLocalDoesNotResolve(t *testing.T) {
+	_, body, info := typecheckBody(t, strings.Join([]string{
+		"package p",
+		"func f(c bool) int {",
+		"\tn := 1",
+		"\tif c { n = 2 }",
+		"\treturn n",
+		"}",
+	}, "\n"))
+	v := NewFuncValues(info, body)
+	n := objNamed(t, info, "n")
+	if v.Defs(n) != 2 {
+		t.Fatalf("Defs(n) = %d, want 2", v.Defs(n))
+	}
+	if v.DefRHS(n) != nil {
+		t.Error("multi-def local must not expose a single defining RHS")
+	}
+}

@@ -109,8 +109,11 @@ var mayLattice = flow.Lattice[lockset]{
 
 // lockOp classifies a call as a sync mutex operation, resolving the
 // method through go/types so only sync.Mutex/RWMutex (incl. embedded)
-// qualify, and returns the canonical key of the lock expression.
-func lockOp(info *types.Info, call *ast.CallExpr) (key, op string) {
+// qualify, and returns the canonical key of the lock expression. The
+// value summary canonicalizes through pointer locals: `m := &s.mu;
+// m.Lock()` keys as "s.mu", so the lock and a later direct s.mu
+// access agree on one name (vals may be nil: plain ExprKey).
+func lockOp(info *types.Info, vals *flow.FuncValues, call *ast.CallExpr) (key, op string) {
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok {
 		return "", ""
@@ -124,7 +127,7 @@ func lockOp(info *types.Info, call *ast.CallExpr) (key, op string) {
 	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
 		return "", ""
 	}
-	key = flow.ExprKey(sel.X)
+	key = vals.CanonKey(sel.X)
 	if key == "" {
 		return "", ""
 	}
@@ -133,7 +136,7 @@ func lockOp(info *types.Info, call *ast.CallExpr) (key, op string) {
 
 // lockTransfer applies one CFG node's mutex operations to a lockset
 // (shared by the must- and may-analyses; only the join differs).
-func lockTransfer(info *types.Info, n ast.Node, ls lockset) {
+func lockTransfer(info *types.Info, vals *flow.FuncValues, n ast.Node, ls lockset) {
 	es, ok := n.(*ast.ExprStmt)
 	if !ok {
 		return
@@ -142,7 +145,7 @@ func lockTransfer(info *types.Info, n ast.Node, ls lockset) {
 	if !ok {
 		return
 	}
-	key, op := lockOp(info, call)
+	key, op := lockOp(info, vals, call)
 	switch op {
 	case "Lock":
 		ls[key] = lockExcl
@@ -192,19 +195,23 @@ func runLockGuard(pass *Pass) {
 			if strings.HasSuffix(fd.Name.Name, "Locked") {
 				continue
 			}
+			// One value summary per declaration (the literal bodies share
+			// the enclosing function's locals, so aliases established
+			// outside a closure canonicalize inside it too).
+			vals := flow.NewFuncValues(info, fd.Body)
 			for _, body := range flow.BodiesOf(fd) {
-				checkLockGuard(pass, info, fd, body.Block, isGuarded)
+				checkLockGuard(pass, info, vals, fd, body.Block, isGuarded)
 			}
 		}
 	}
 }
 
-func checkLockGuard(pass *Pass, info *types.Info, fd *ast.FuncDecl, block *ast.BlockStmt, isGuarded func(types.Object) (guardedField, bool)) {
+func checkLockGuard(pass *Pass, info *types.Info, vals *flow.FuncValues, fd *ast.FuncDecl, block *ast.BlockStmt, isGuarded func(types.Object) (guardedField, bool)) {
 	g := flow.New(block)
 	sol := flow.Solve(g, mustLattice, func(b *flow.Block, in lockset) lockset {
 		out := copyLockset(in)
 		for _, n := range b.Nodes {
-			lockTransfer(info, n, out)
+			lockTransfer(info, vals, n, out)
 		}
 		return out
 	})
@@ -242,7 +249,7 @@ func checkLockGuard(pass *Pass, info *types.Info, fd *ast.FuncDecl, block *ast.B
 					return true
 				})
 			}
-			lockTransfer(info, n, ls)
+			lockTransfer(info, vals, n, ls)
 		}
 	}
 }
@@ -332,19 +339,20 @@ func runLockBalance(pass *Pass) {
 			if !ok || fd.Body == nil {
 				continue
 			}
+			vals := flow.NewFuncValues(info, fd.Body)
 			for _, body := range flow.BodiesOf(fd) {
-				checkLockBalance(pass, info, fd, body.Block)
+				checkLockBalance(pass, info, vals, fd, body.Block)
 			}
 		}
 	}
 }
 
-func checkLockBalance(pass *Pass, info *types.Info, fd *ast.FuncDecl, block *ast.BlockStmt) {
+func checkLockBalance(pass *Pass, info *types.Info, vals *flow.FuncValues, fd *ast.FuncDecl, block *ast.BlockStmt) {
 	g := flow.New(block)
 	sol := flow.Solve(g, mayLattice, func(b *flow.Block, in lockset) lockset {
 		out := copyLockset(in)
 		for _, n := range b.Nodes {
-			lockTransfer(info, n, out)
+			lockTransfer(info, vals, n, out)
 		}
 		return out
 	})
@@ -358,7 +366,7 @@ func checkLockBalance(pass *Pass, info *types.Info, fd *ast.FuncDecl, block *ast
 			if !ok {
 				return true
 			}
-			if key, op := lockOp(info, call); op == "Unlock" || op == "RUnlock" {
+			if key, op := lockOp(info, vals, call); op == "Unlock" || op == "RUnlock" {
 				deferred[key] = true
 			}
 			return true

@@ -25,11 +25,14 @@ import (
 // reported. Two overlapping goroutines that both capture the same
 // variable (at least one writing) are reported at the second spawn.
 //
-// Precision limits: aliases (p2 := p) are separate names here, the
-// barrier heuristic treats ANY .Wait()/receive as joining every live
-// spawn (so a Wait on an unrelated group silences later findings), and
-// captures of channels, funcs, interfaces and sync primitives are
-// deliberately out of scope — those are the sanctioned sharing tools.
+// Aliases are folded through the flow package's value summary: a
+// spawner access through a plain copy (p2 := p) conflicts with the
+// goroutine's capture of p, because both names are one alias class.
+// Remaining precision limits: the barrier heuristic treats ANY
+// .Wait()/receive as joining every live spawn (so a Wait on an
+// unrelated group silences later findings), and captures of channels,
+// funcs, interfaces and sync primitives are deliberately out of scope
+// — those are the sanctioned sharing tools.
 var SharedCapture = &Analyzer{
 	Name: "sharedcapture",
 	Doc:  "no unsynchronized spawner access to mutable state captured by a go closure",
@@ -43,8 +46,9 @@ func runSharedCapture(pass *Pass) {
 			if !ok || fd.Body == nil {
 				continue
 			}
+			vals := flow.NewFuncValues(pass.TypesInfo(), fd.Body)
 			for _, body := range flow.BodiesOf(fd) {
-				checkSharedCapture(pass, body.Block)
+				checkSharedCapture(pass, vals, body.Block)
 			}
 		}
 	}
@@ -66,7 +70,7 @@ type spawnInfo struct {
 	caps map[*types.Var]*capturedVar
 }
 
-func checkSharedCapture(pass *Pass, block *ast.BlockStmt) {
+func checkSharedCapture(pass *Pass, vals *flow.FuncValues, block *ast.BlockStmt) {
 	info := pass.TypesInfo()
 	g := flow.New(block, flow.WithTerminalCalls(func(call *ast.CallExpr) bool {
 		return stdTerminal(info, call)
@@ -84,7 +88,7 @@ func checkSharedCapture(pass *Pass, block *ast.BlockStmt) {
 		if lit == nil {
 			continue
 		}
-		caps := captures(info, lit)
+		caps := captures(info, vals, lit)
 		if len(caps) == 0 {
 			continue
 		}
@@ -126,7 +130,7 @@ func checkSharedCapture(pass *Pass, block *ast.BlockStmt) {
 	lockSol := flow.Solve(g, mustLattice, func(b *flow.Block, in lockset) lockset {
 		out := copyLockset(in)
 		for _, n := range b.Nodes {
-			lockTransfer(info, n, out)
+			lockTransfer(info, vals, n, out)
 		}
 		return out
 	})
@@ -156,10 +160,10 @@ func checkSharedCapture(pass *Pass, block *ast.BlockStmt) {
 		locks := copyLockset(lockSol.In[b.Index])
 		for _, n := range b.Nodes {
 			if alive != 0 {
-				checkNodeAccesses(info, n, uint64(alive), spawns, locks, byStmt, note)
+				checkNodeAccesses(info, vals, n, uint64(alive), spawns, locks, byStmt, note)
 			}
 			alive = step(n, alive)
-			lockTransfer(info, n, locks)
+			lockTransfer(info, vals, n, locks)
 		}
 	}
 
@@ -181,7 +185,7 @@ func checkSharedCapture(pass *Pass, block *ast.BlockStmt) {
 
 // checkNodeAccesses finds conflicting accesses at one spawner node
 // against every live spawn's capture set.
-func checkNodeAccesses(info *types.Info, n ast.Node, alive uint64, spawns []*spawnInfo, locks lockset, byStmt map[*ast.GoStmt]int, note func(token.Pos, *spawnInfo, *types.Var, bool)) {
+func checkNodeAccesses(info *types.Info, vals *flow.FuncValues, n ast.Node, alive uint64, spawns []*spawnInfo, locks lockset, byStmt map[*ast.GoStmt]int, note func(token.Pos, *spawnInfo, *types.Var, bool)) {
 	// A later go statement overlapping an earlier one: conflicts between
 	// the two capture sets, reported at the later spawn.
 	if gs, ok := n.(*ast.GoStmt); ok {
@@ -195,8 +199,8 @@ func checkNodeAccesses(info *types.Info, n ast.Node, alive uint64, spawns []*spa
 				continue
 			}
 			for v, a := range sp.caps {
-				b, shared := cur.caps[v]
-				if !shared {
+				b := capOf(vals, cur.caps, v)
+				if b == nil {
 					continue
 				}
 				if len(a.writes) == 0 && len(b.writes) == 0 {
@@ -227,8 +231,8 @@ func checkNodeAccesses(info *types.Info, n ast.Node, alive uint64, spawns []*spa
 				if alive&(1<<uint(i)) == 0 {
 					continue
 				}
-				cap, captured := sp.caps[v]
-				if !captured {
+				cap := capOf(vals, sp.caps, v)
+				if cap == nil {
 					continue
 				}
 				// Conflict requires a write on at least one side.
@@ -240,11 +244,34 @@ func checkNodeAccesses(info *types.Info, n ast.Node, alive uint64, spawns []*spa
 				if guardedHere(locks, cap.guard) {
 					continue
 				}
-				note(id.Pos(), sp, v, isWrite)
+				// Report the goroutine's name for the variable (cap.obj):
+				// for an alias access the spawner's name differs, but the
+				// conflict is on the captured object.
+				note(id.Pos(), sp, cap.obj, isWrite)
 			}
 			return true
 		})
 	}
+}
+
+// capOf resolves v against a spawn's capture set through the alias
+// classes: an access through a plain copy (q := p) conflicts with a
+// capture of p. Ties (several captured aliases of v) resolve to the
+// earliest-declared one, keeping output deterministic.
+func capOf(vals *flow.FuncValues, caps map[*types.Var]*capturedVar, v *types.Var) *capturedVar {
+	if c := caps[v]; c != nil {
+		return c
+	}
+	var best *capturedVar
+	for cv, c := range caps {
+		if !vals.SameClass(cv, v) {
+			continue
+		}
+		if best == nil || c.obj.Pos() < best.obj.Pos() {
+			best = c
+		}
+	}
+	return best
 }
 
 // isJoinBarrier recognizes happens-before edges that retire live
@@ -282,7 +309,7 @@ func isJoinBarrier(info *types.Info, n ast.Node) bool {
 // locals (and parameters) defined outside the literal. Channels,
 // funcs, interfaces, sync primitives and immutable basics are the
 // sanctioned sharing mechanisms and are excluded.
-func captures(info *types.Info, lit *ast.FuncLit) map[*types.Var]*capturedVar {
+func captures(info *types.Info, vals *flow.FuncValues, lit *ast.FuncLit) map[*types.Var]*capturedVar {
 	caps := map[*types.Var]*capturedVar{}
 	writes := litWriteRoots(info, lit)
 	ast.Inspect(lit.Body, func(n ast.Node) bool {
@@ -318,7 +345,7 @@ func captures(info *types.Info, lit *ast.FuncLit) map[*types.Var]*capturedVar {
 		return true
 	})
 	for _, c := range caps {
-		c.guard = goroutineGuard(info, lit, c.obj)
+		c.guard = goroutineGuard(info, vals, lit, c.obj)
 	}
 	return caps
 }
@@ -414,12 +441,12 @@ func nodeWriteRoots(info *types.Info, n ast.Node) map[*types.Var]bool {
 // goroutineGuard computes the lock keys held at EVERY access to v
 // inside the literal (flow-sensitive over the literal's own CFG).
 // Empty means at least one access runs unlocked.
-func goroutineGuard(info *types.Info, lit *ast.FuncLit, v *types.Var) map[string]bool {
+func goroutineGuard(info *types.Info, vals *flow.FuncValues, lit *ast.FuncLit, v *types.Var) map[string]bool {
 	g := flow.New(lit.Body)
 	sol := flow.Solve(g, mustLattice, func(b *flow.Block, in lockset) lockset {
 		out := copyLockset(in)
 		for _, n := range b.Nodes {
-			lockTransfer(info, n, out)
+			lockTransfer(info, vals, n, out)
 		}
 		return out
 	})
@@ -452,7 +479,7 @@ func goroutineGuard(info *types.Info, lit *ast.FuncLit, v *types.Var) map[string
 					return true
 				})
 			}
-			lockTransfer(info, n, ls)
+			lockTransfer(info, vals, n, ls)
 		}
 	}
 	if guard == nil {

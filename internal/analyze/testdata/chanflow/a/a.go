@@ -69,3 +69,21 @@ func handsOff(sink func(chan int)) {
 func unknown(ch chan int) {
 	close(ch)
 }
+
+// Good: a nil-armed select guard. The channel starts nil to keep its
+// case dormant, and another case arms it from an unknown source; the
+// join must not treat "unknown" as "still nil on every path".
+func nilArmedSelect(events chan int, arm func() <-chan int) {
+	var timerC <-chan int
+	for {
+		select {
+		case _, ok := <-events:
+			if !ok {
+				return
+			}
+			timerC = arm()
+		case <-timerC:
+			timerC = nil
+		}
+	}
+}

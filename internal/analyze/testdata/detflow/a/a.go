@@ -53,3 +53,31 @@ func DrawQuiet() int {
 	//lvlint:ignore detflow fixture exercising the suppression path
 	return rand.Intn(10)
 }
+
+// Good: sorting through a second name of the slice sanitizes the
+// original too — both names share one backing array, so the in-place
+// sort orders them both (without alias classes this stayed flagged).
+func PrintSortedAlias(m map[string]int) {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	view := keys
+	sort.Strings(view)
+	for _, k := range keys {
+		fmt.Println(k, m[k])
+	}
+}
+
+// Bad: the order taint follows the alias — ranging the copy is still
+// ranging a map-ordered slice.
+func PrintAliasUnsorted(m map[string]int) {
+	view := make([]string, 0, len(m))
+	for k := range m {
+		view = append(view, k)
+	}
+	tail := view
+	for _, k := range tail {
+		fmt.Println(k) // want "map iteration order"
+	}
+}

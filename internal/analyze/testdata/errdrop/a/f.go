@@ -1,6 +1,9 @@
 package a
 
-import "os"
+import (
+	"io"
+	"os"
+)
 
 // Bad: deferred Close on a write path — the final flush error
 // disappears and a short write is silent.
@@ -14,14 +17,14 @@ func WriteOut(path string, data []byte) error {
 	return err
 }
 
-// Read-only: still reported, with the softer message pointing at the
-// acknowledgement idiom.
+// Good: os.Open yields a read-only file; its Close error cannot lose
+// data, so the deferred drop is allowed without ceremony.
 func ReadBack(path string) ([]byte, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close() // want "read-only file"
+	defer f.Close()
 	buf := make([]byte, 16)
 	n, err := f.Read(buf)
 	if err != nil {
@@ -30,17 +33,27 @@ func ReadBack(path string) ([]byte, error) {
 	return buf[:n], nil
 }
 
-// Good: the acknowledged read-only defer is suppressed.
-func ReadQuiet(path string) int {
-	f, err := os.Open(path)
-	if err != nil {
-		return 0
-	}
-	//lvlint:ignore errdrop read-only close cannot lose data
-	defer f.Close()
+// A file of unknown origin (parameter) may be open for writing: the
+// softer acknowledgement finding remains.
+func CloseHandedIn(f *os.File) {
+	defer f.Close() // want "unknown origin"
 	buf := make([]byte, 16)
-	n, _ := f.Read(buf)
-	return n
+	_, _ = f.Read(buf)
+}
+
+// Good: an io.ReadCloser has no write-side methods, so closing it
+// cannot lose buffered data — deferred drop allowed.
+func DrainBody(rc io.ReadCloser) error {
+	defer rc.Close()
+	_, err := io.Copy(io.Discard, rc)
+	return err
+}
+
+// Bad: a write-capable closer can lose buffered bytes on Close.
+func FlushOut(wc io.WriteCloser, data []byte) error {
+	defer wc.Close() // want "silently dropped"
+	_, err := wc.Write(data)
+	return err
 }
 
 // Good: explicit close on the success path with the error checked.

@@ -1,0 +1,92 @@
+package a
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	"test/eventflow/event"
+)
+
+type core struct{ name string }
+
+func (c *core) Name() string { return c.name }
+
+func sink(at event.Time) error { return nil }
+
+// Bad: every host-observing operation inside a handler breaks replay,
+// and scheduling behind the current tick is silently clamped.
+func wire(eng *event.Engine, stats map[string]int) {
+	c := &core{name: "c"}
+	in := event.NewPort[int](eng, c, "in")
+	out := event.NewPort[int](eng, c, "out")
+	if err := event.Connect(in, out, 10); err != nil {
+		panic(err)
+	}
+	in.OnRecv = func(msg int, at event.Time) error {
+		_ = time.Now()    // want "wall-clock"
+		n := rand.Intn(4) // want "math/rand"
+		for k := range stats { // want "map iteration order"
+			_ = k
+		}
+		past := at - event.Time(n)
+		eng.Schedule(past, sink) // want "past tick"
+		return nil
+	}
+}
+
+// Good: seeded rand, forward time arithmetic, connected ports.
+func wireClean(eng *event.Engine) {
+	c := &core{name: "clean"}
+	in := event.NewPort[int](eng, c, "in")
+	out := event.NewPort[int](eng, c, "out")
+	if err := event.Connect(in, out, 10); err != nil {
+		panic(err)
+	}
+	in.OnRecv = func(msg int, at event.Time) error {
+		r := rand.New(rand.NewSource(int64(msg)))
+		delay := event.Time(r.Intn(4))
+		eng.Schedule(at+delay, sink)
+		return out.Send(msg, at+delay)
+	}
+}
+
+// Bad: the port is created and used here but never wired to a peer —
+// Send can only fail.
+func lonePort(eng *event.Engine) {
+	c := &core{name: "lone"}
+	p := event.NewPort[int](eng, c, "out")
+	_ = p.Send(1, 0) // want "never Connected"
+}
+
+// Good: handing the port to another function transfers wiring
+// responsibility; the local analysis stays quiet.
+func handoff(eng *event.Engine, connect func(*event.Port[int])) {
+	c := &core{name: "h"}
+	p := event.NewPort[int](eng, c, "out")
+	connect(p)
+	_ = p.Send(1, 0)
+}
+
+// Good: the collect-then-sort idiom — the exact shape the suggested
+// fix produces — is order-insensitive and accepted.
+func wireSorted(eng *event.Engine, stats map[string]int) {
+	c := &core{name: "sorted"}
+	in := event.NewPort[int](eng, c, "in")
+	out := event.NewPort[int](eng, c, "out")
+	if err := event.Connect(in, out, 10); err != nil {
+		panic(err)
+	}
+	in.OnRecv = func(msg int, at event.Time) error {
+		keys := make([]string, 0, len(stats))
+		for k := range stats {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		total := 0
+		for _, k := range keys {
+			total += stats[k]
+		}
+		return out.Send(total, at+1)
+	}
+}

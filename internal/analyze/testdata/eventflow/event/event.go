@@ -1,0 +1,69 @@
+// Package event is a miniature of the real event kernel: the same
+// type names (Time, Engine, Port) in a package whose path ends in
+// "event", so eventflow's structural matching treats it identically.
+package event
+
+// Time is simulation time.
+type Time int64
+
+// Handler is an event body.
+type Handler func(at Time) error
+
+// Engine is a single-threaded scheduler.
+type Engine struct {
+	now Time
+}
+
+// NewEngine returns an empty engine.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulation time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule enqueues fn at the given time, clamping the past to Now.
+func (e *Engine) Schedule(at Time, fn Handler) {
+	if at < e.now {
+		at = e.now
+	}
+	_ = fn
+}
+
+// Component owns ports.
+type Component interface {
+	Name() string
+}
+
+// Port is one endpoint of a connection.
+type Port[T any] struct {
+	eng  *Engine
+	peer *Port[T]
+
+	// OnRecv handles a delivery on this port.
+	OnRecv func(msg T, at Time) error
+}
+
+// NewPort creates a port owned by the component.
+func NewPort[T any](eng *Engine, owner Component, name string) *Port[T] {
+	_ = owner
+	_ = name
+	return &Port[T]{eng: eng}
+}
+
+// Connect links two ports.
+func Connect[T any](a, b *Port[T], latency Time) error {
+	_ = latency
+	a.peer, b.peer = b, a
+	return nil
+}
+
+// Send schedules delivery to the peer.
+func (p *Port[T]) Send(msg T, sendAt Time) error {
+	if p.peer == nil {
+		return nil
+	}
+	peer := p.peer
+	p.eng.Schedule(sendAt, func(at Time) error {
+		return peer.OnRecv(msg, at)
+	})
+	return nil
+}

@@ -1,0 +1,28 @@
+// Package event is the eventflow leg of the -fix round-trip fixture:
+// the import path tail is "event", so the miniature Port/Time types
+// here match eventflow's type scoping. The handler's map range carries
+// the sorted-keys rewrite, and applying it leaves zero findings.
+package event
+
+import (
+	"fmt"
+)
+
+// Time and Port stand in for the real kernel types.
+type Time int64
+
+// Port carries the OnRecv hook that marks its literal as a handler.
+type Port struct {
+	OnRecv func(msg string, at Time) error
+}
+
+// Wire registers a handler that walks a map in iteration order; the
+// fix rewrites the range to collect, sort, and index.
+func Wire(p *Port, stats map[string]int) {
+	p.OnRecv = func(msg string, at Time) error {
+		for k, v := range stats {
+			fmt.Println(k, v)
+		}
+		return nil
+	}
+}

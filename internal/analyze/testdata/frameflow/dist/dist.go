@@ -1,0 +1,103 @@
+// Package dist mimics the real distribution layer: the import path
+// ends in "dist", so frameflow's package scoping applies.
+package dist
+
+import (
+	"encoding/binary"
+	"io"
+	"os"
+)
+
+const maxFrame = 64 << 20
+
+const (
+	frameHello = "hello"
+	frameBye   = "bye"
+)
+
+type frame struct{ Type string }
+
+func writeFrame(w io.Writer, f frame) error {
+	_, err := io.WriteString(w, f.Type+"\n")
+	return err
+}
+
+// Bad: a corrupt four-byte header sizes the allocation directly.
+func readFrameUnchecked(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	buf := make([]byte, int(n)) // want "before any bound check"
+	_, err := io.ReadFull(r, buf)
+	return buf, err
+}
+
+// Good: the length is capped before it sizes anything.
+func readFrameChecked(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, io.ErrUnexpectedEOF
+	}
+	buf := make([]byte, int(n))
+	_, err := io.ReadFull(r, buf)
+	return buf, err
+}
+
+type sup struct{ out io.Writer }
+
+// Bad: this supervisor greets workers but no method ever says bye —
+// they can only exit by being killed.
+func (s *sup) spawn() {
+	_ = writeFrame(s.out, frame{Type: frameHello}) // want "ever sends bye"
+}
+
+type pairedSup struct{ out io.Writer }
+
+func (s *pairedSup) spawn() {
+	_ = writeFrame(s.out, frame{Type: frameHello})
+}
+
+// Good: a bye-sending shutdown pairs the hello handshake.
+func (s *pairedSup) shutdown() {
+	_ = writeFrame(s.out, frame{Type: frameBye})
+}
+
+// Bad: rename is atomic on the name, not the data — the unsynced
+// bytes can vanish in a crash, leaving a truncated checkpoint.
+func saveFast(path string, data []byte) error {
+	f, err := os.Create(path + ".tmp")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(path+".tmp", path) // want "never synced"
+}
+
+// Good: fsync before rename makes the publish durable.
+func saveDurable(path string, data []byte) error {
+	f, err := os.CreateTemp(".", "ckpt")
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(f.Name(), path)
+}

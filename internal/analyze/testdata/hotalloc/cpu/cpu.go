@@ -1,0 +1,67 @@
+// Package cpu mimics the core model: the import path ends in "cpu",
+// so hotalloc's package scoping applies.
+package cpu
+
+type line struct {
+	age  [8]uint64
+	data []byte
+}
+
+// Bad: a fresh map for every access.
+func histogram(addrs []uint64) int {
+	total := 0
+	for _, a := range addrs {
+		seen := map[uint64]bool{} // want "map literal"
+		seen[a] = true
+		total += len(seen)
+	}
+	return total
+}
+
+// Bad: make and append both churn the allocator per access.
+func copies(lines []line) [][]byte {
+	out := make([][]byte, 0, len(lines))
+	for _, l := range lines {
+		buf := make([]byte, len(l.data)) // want "make inside"
+		copy(buf, l.data)
+		out = append(out, buf) // want "append inside"
+	}
+	return out
+}
+
+// Good: a value-array reset zeroes in place — no allocation.
+func resetAges(lines []line) {
+	for i := range lines {
+		lines[i].age = [8]uint64{}
+	}
+}
+
+// Good: allocation hoisted out of the loop, reused via reslicing.
+func gather(lines []line, scratch []byte) []byte {
+	scratch = scratch[:0]
+	total := 0
+	for i := range lines {
+		total += len(lines[i].data)
+	}
+	if cap(scratch) < total {
+		scratch = make([]byte, 0, total)
+	}
+	for i := range lines {
+		scratch = appendAll(scratch, lines[i].data)
+	}
+	return scratch
+}
+
+func appendAll(dst, src []byte) []byte {
+	return append(dst, src...)
+}
+
+// Bad: explicit boxing per access puts every word on the heap.
+func box(addrs []uint64) []any {
+	out := make([]any, len(addrs))
+	for i, a := range addrs {
+		v := any(a) // want "interface"
+		out[i] = v
+	}
+	return out
+}

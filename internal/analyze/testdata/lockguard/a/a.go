@@ -98,3 +98,23 @@ func Seed(n int) {
 	//lvlint:ignore lockguard fixture exercising the suppression path
 	table["seed"] = n
 }
+
+// Good: the lock is taken through a pointer to the field; the value
+// analysis canonicalizes the alias back to r.mu, so the guarded reads
+// under it are clean (before alias folding this was a false positive).
+func (r *Registry) ViaAlias(name string) int {
+	m := &r.mu
+	m.Lock()
+	defer m.Unlock()
+	return r.names[name]
+}
+
+// Bad: the aliased lock is released before the last read, so that
+// access runs bare even though every lock call went through m.
+func (r *Registry) AliasEarlyRelease(name string) int {
+	m := &r.mu
+	m.Lock()
+	v := r.names[name] // good: held through the alias
+	m.Unlock()
+	return v + len(r.names) // want "mu is not held"
+}

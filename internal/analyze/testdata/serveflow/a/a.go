@@ -1,0 +1,81 @@
+package a
+
+import "test/serveflow/http"
+
+// Bad: the first body write committed the status as 200; the later
+// WriteHeader is a no-op.
+func lateHeader(w http.ResponseWriter, r *http.Request) {
+	_, _ = w.Write([]byte("hello\n"))
+	w.WriteHeader(500) // want "after the body"
+}
+
+// Good: status first, then the body.
+func headerFirst(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(204)
+	_, _ = w.Write(nil)
+}
+
+// Good: the two paths never overlap, and each sets the header before
+// writing on its own path — only a flow-sensitive check can tell.
+func branchy(w http.ResponseWriter, r *http.Request) {
+	if r.Method != "GET" {
+		w.WriteHeader(405)
+		_, _ = w.Write([]byte("method not allowed"))
+		return
+	}
+	_, _ = w.Write([]byte("ok"))
+}
+
+// Bad: the goroutine can outlive the handler; the server reuses the
+// connection and the writer once ServeHTTP returns.
+func detached(w http.ResponseWriter, r *http.Request) {
+	go func() { // want "captures"
+		_, _ = w.Write([]byte("late"))
+	}()
+}
+
+// Good: the goroutine works on copied data, not the writer.
+func detachedCopy(w http.ResponseWriter, r *http.Request, log func(string)) {
+	method := r.Method
+	go func() {
+		log(method)
+	}()
+	w.WriteHeader(202)
+}
+
+// flusher mimics the NDJSON row flusher: finish writes the terminator
+// line that tells the client the stream is complete.
+type flusher struct {
+	rows int
+	err  error
+}
+
+func (f *flusher) finish(rows int, err error) {
+	f.rows, f.err = rows, err
+}
+
+// Bad: the early return skips the terminator, so the client cannot
+// tell truncation from completion.
+func streamRows(w http.ResponseWriter, r *http.Request, rows []string) {
+	fl := &flusher{}
+	for _, row := range rows {
+		if row == "" {
+			return // want "finish"
+		}
+		_, _ = w.Write([]byte(row))
+	}
+	fl.finish(len(rows), nil)
+}
+
+// Good: every explicit return funnels through finish first.
+func streamAll(w http.ResponseWriter, r *http.Request, rows []string) {
+	fl := &flusher{}
+	for _, row := range rows {
+		if row == "" {
+			fl.finish(0, nil)
+			return
+		}
+		_, _ = w.Write([]byte(row))
+	}
+	fl.finish(len(rows), nil)
+}

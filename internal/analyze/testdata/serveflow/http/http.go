@@ -1,0 +1,20 @@
+// Package http is a miniature of net/http: the same type names in a
+// package whose path ends in "http", so serveflow's structural
+// matching treats handlers against it identically.
+package http
+
+// Header maps header names to values.
+type Header map[string][]string
+
+// ResponseWriter is the response surface handed to handlers.
+type ResponseWriter interface {
+	Header() Header
+	Write([]byte) (int, error)
+	WriteHeader(statusCode int)
+}
+
+// Request is an inbound request.
+type Request struct {
+	Method string
+	Path   string
+}

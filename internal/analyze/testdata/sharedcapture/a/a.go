@@ -92,3 +92,18 @@ func readOnly(cfg map[string]int) int {
 	}()
 	return sum + cfg["b"]
 }
+
+type counter struct{ n int }
+
+// Bad: the spawner writes through a copy of the pointer the goroutine
+// captured — the alias classes fold q back onto p, so the conflict
+// survives the renaming (a plain name match would miss it).
+func aliasedConflict() int {
+	p := &counter{}
+	q := p
+	go func() {
+		p.n++
+	}()
+	q.n++ // want "while the goroutine spawned at line"
+	return q.n
+}

@@ -180,7 +180,7 @@ func LinkBestFit(p *program.Program, fm *faultmap.Map, baseAddr uint64) (*Placem
 			continue
 		}
 		if start >= 0 {
-			chunks = append(chunks, free{start, i - start})
+			chunks = append(chunks, free{start, i - start}) //lvlint:ignore hotalloc link-time work that runs once per program image, not per cache access
 			start = -1
 		}
 	}
@@ -214,7 +214,7 @@ func LinkBestFit(p *program.Program, fm *faultmap.Map, baseAddr uint64) (*Placem
 					continue
 				}
 				if start >= 0 {
-					chunks = append(chunks, free{start, j - start})
+					chunks = append(chunks, free{start, j - start}) //lvlint:ignore hotalloc link-time work that runs once per program image, not per cache access
 					start = -1
 				}
 			}
@@ -234,7 +234,7 @@ func LinkBestFit(p *program.Program, fm *faultmap.Map, baseAddr uint64) (*Placem
 		pl.addrs[i] = baseAddr + (lap*uint64(csize)+uint64(c.start))*4
 		pl.CodeWords += fp
 		if c.length == fp {
-			chunks = append(chunks[:best], chunks[best+1:]...)
+			chunks = append(chunks[:best], chunks[best+1:]...) //lvlint:ignore hotalloc link-time work that runs once per program image, not per cache access
 		} else {
 			chunks[best] = free{c.start + fp, c.length - fp}
 		}

@@ -76,7 +76,7 @@ func Transform(p *program.Program, cfg TransformConfig) (*program.Program, Trans
 		old := &p.Blocks[i]
 		firstPiece[i] = program.BlockID(len(out.Blocks))
 		pieces := splitBlock(old, program.BlockID(i), cfg.SplitThreshold, &stats)
-		out.Blocks = append(out.Blocks, pieces...)
+		out.Blocks = append(out.Blocks, pieces...) //lvlint:ignore hotalloc link-time work that runs once per program image, not per cache access
 	}
 
 	// Second pass: rewrite control-flow targets from old block IDs to the
@@ -177,11 +177,11 @@ func splitBlock(old *program.BasicBlock, oldID program.BlockID, threshold int, s
 	var pieces []program.BasicBlock
 	rest := kinds
 	for len(rest) > threshold {
-		head := make([]program.InstrKind, threshold-1, threshold)
+		head := make([]program.InstrKind, threshold-1, threshold) //lvlint:ignore hotalloc link-time work that runs once per program image, not per cache access
 		copy(head, rest[:threshold-1])
-		head = append(head, program.KindBranch)
+		head = append(head, program.KindBranch) //lvlint:ignore hotalloc link-time work that runs once per program image, not per cache access
 		rest = rest[threshold-1:]
-		pieces = append(pieces, program.BasicBlock{
+		pieces = append(pieces, program.BasicBlock{ //lvlint:ignore hotalloc link-time work that runs once per program image, not per cache access
 			Size:           threshold,
 			Term:           program.TermJump,
 			Kinds:          head,

@@ -128,7 +128,7 @@ func runSharded(ctx context.Context, kind string, payloads []json.RawMessage, pe
 		case <-tick.C:
 			s.checkBeats()
 			s.respawnDue() //lvlint:ignore ctxflow worker lifetime is owned by the supervisor loop, not the context
-		case <-ctxDone: //lvlint:ignore chanflow nil disables this case until cancellation arms the drain
+		case <-ctxDone:
 			// Drain: stop dispatching, let in-flight rows finish, kill
 			// whatever is still running at the drain deadline.
 			cancelled = true
@@ -136,7 +136,7 @@ func runSharded(ctx context.Context, kind string, payloads []json.RawMessage, pe
 			ctxDone = nil
 			drainT = time.NewTimer(opts.DrainTimeout)
 			drainC = drainT.C
-		case <-drainC: //lvlint:ignore chanflow nil disables this case until the drain timer is armed
+		case <-drainC:
 			drainC = nil
 			s.killAll("drain timeout")
 		}
@@ -482,7 +482,7 @@ func (s *supervisor) shutdown() {
 			// Late results after the loop decided to stop are dropped:
 			// the rows they carry were either already collected or will
 			// rerun from the checkpoint with identical bytes.
-		case <-graceC: //lvlint:ignore chanflow nil disables this case after the grace period fired once
+		case <-graceC:
 			graceC = nil
 			s.killAll("shutdown grace expired")
 		}

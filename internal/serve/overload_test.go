@@ -258,7 +258,7 @@ func TestDrainRefusesNewWork(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close() //lvlint:ignore errdrop read-only response body close
+	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusServiceUnavailable {
 		t.Fatalf("healthz while draining = %d, want 503", resp.StatusCode)
 	}

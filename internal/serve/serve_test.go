@@ -65,7 +65,7 @@ func post(t *testing.T, url, path, body string, header map[string]string) (int, 
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close() //lvlint:ignore errdrop read-only response body close
+	defer resp.Body.Close()
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
 		t.Fatal(err)
@@ -241,7 +241,7 @@ func TestMethodDiscipline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close() //lvlint:ignore errdrop read-only response body close
+	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Fatalf("GET /v1/eval = %d, want 405", resp.StatusCode)
 	}
@@ -257,7 +257,7 @@ func TestStatsAndHealthz(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close() //lvlint:ignore errdrop read-only response body close
+	defer resp.Body.Close()
 	var st Stats
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 		t.Fatal(err)
@@ -272,7 +272,7 @@ func TestStatsAndHealthz(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer hresp.Body.Close() //lvlint:ignore errdrop read-only response body close
+	defer hresp.Body.Close()
 	if hresp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz = %d", hresp.StatusCode)
 	}

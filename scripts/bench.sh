@@ -90,9 +90,12 @@ echo "bench: wrote $out"
 
 # Third pass: linter latency. Runs lvlint over the whole module twice —
 # once against an empty .lvlint-cache (cold: full parse + typecheck +
-# fourteen analyzers) and once against the cache the cold run just filled
-# (warm: one content-hash probe and a cached-JSON replay). The binary is
-# built once so both numbers measure analysis, not compilation.
+# every registered analyzer) and once against the cache the cold run just
+# filled (warm: one content-hash probe and a cached-JSON replay). The
+# binary is built once so both numbers measure analysis, not compilation.
+# A per-check sweep then times each analyzer alone (cold, cache off) so a
+# regression in one check shows up as its own number instead of hiding
+# in the aggregate; CI holds every entry under a 10 s budget.
 out=BENCH_lint.json
 lintbin=$(mktemp -t lvlint.XXXXXX)
 trap 'rm -f "$lintbin"' EXIT
@@ -107,8 +110,17 @@ t1=$(now_ms)
 "$lintbin" ./...
 t2=$(now_ms)
 
-printf '{\n  "gomaxprocs": %s,\n  "cpus": %s,\n  "lvlint_cold_ms": %s,\n  "lvlint_warm_ms": %s\n}\n' \
-	"$gomaxprocs" "$cpus" "$((t1 - t0))" "$((t2 - t1))" >"$out"
+per_check=""
+for check in $("$lintbin" -list | awk '{print $1}'); do
+	c0=$(now_ms)
+	"$lintbin" -no-cache -checks "$check" ./...
+	c1=$(now_ms)
+	[ -n "$per_check" ] && per_check="$per_check, "
+	per_check="$per_check\"$check\": $((c1 - c0))"
+done
+
+printf '{\n  "gomaxprocs": %s,\n  "cpus": %s,\n  "lvlint_cold_ms": %s,\n  "lvlint_warm_ms": %s,\n  "per_check_ms": {%s}\n}\n' \
+	"$gomaxprocs" "$cpus" "$((t1 - t0))" "$((t2 - t1))" "$per_check" >"$out"
 echo "bench: wrote $out"
 
 # Fourth pass: the distributed-execution harness numbers.

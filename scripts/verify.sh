@@ -5,10 +5,12 @@
 #   vet    — stdlib vet checks
 #   lvlint — the repo's own analyzers (detflow, unitcheck, unitflow,
 #            exhaustive, errdrop, lockguard, lockbalance, deferloop,
-#            nopanic, plus the concflow concurrency suite: goleak,
-#            ctxflow, chanflow, wgbalance, sharedcapture); nonzero
-#            exit on any finding
-#   test   — full unit/integration suite
+#            nopanic, the concflow concurrency suite: goleak,
+#            ctxflow, chanflow, wgbalance, sharedcapture, and the
+#            protocol checks: eventflow, serveflow, frameflow,
+#            hotalloc); nonzero exit on any finding
+#   test   — full unit/integration suite, shuffled (-shuffle=on) so
+#            order-dependent tests cannot hide behind file order
 #   race   — race detector on the packages with shared mutable state
 #            (the run scheduler, the simulator fan-out, the cache model
 #            it drives, the fault-injection/back-off layers the chaos
@@ -37,8 +39,8 @@ go vet ./...
 echo '== go run ./cmd/lvlint ./...'
 go run ./cmd/lvlint ./...
 
-echo '== go test ./...'
-go test ./...
+echo '== go test -shuffle=on ./...'
+go test -shuffle=on ./...
 
 echo '== go test -race ./internal/engine/... ./internal/sim/... ./internal/cache/... ./internal/inject/... ./internal/dvfs/... ./internal/dist/... ./internal/event/... ./internal/hier/... ./internal/serve/...'
 go test -race ./internal/engine/... ./internal/sim/... ./internal/cache/... ./internal/inject/... ./internal/dvfs/... ./internal/dist/... ./internal/event/... ./internal/hier/... ./internal/serve/...
